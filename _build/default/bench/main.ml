@@ -1,0 +1,195 @@
+(* Benchmark harness.
+
+   Part 1 regenerates every experiment table (E1–E11, the paper's
+   theorem-level claims) — the output recorded in EXPERIMENTS.md.
+
+   Part 2 is a Bechamel suite: one Test.make per experiment workload (a
+   single representative trial of each), plus micro-benchmarks of the
+   cryptographic substrate.
+
+     dune exec bench/main.exe            # full run
+     dune exec bench/main.exe -- --quick # reduced repetitions
+*)
+
+open Bechamel
+open Toolkit
+open Basim
+open Bacore
+
+let quick = Array.exists (fun a -> a = "--quick") Sys.argv
+
+(* ---------- Part 1: experiment tables --------------------------------- *)
+
+let () = Baexperiments.All.run_all ~quick ()
+
+(* ---------- Part 2: Bechamel ------------------------------------------- *)
+
+let passive () = Engine.passive ~name:"none" ~model:Corruption.Adaptive
+
+let run_sub_hm ~n ~lambda ~world ~seed () =
+  let params = Params.make ~lambda ~max_epochs:60 () in
+  let proto = Sub_hm.protocol ~params ~world in
+  let inputs = Scenario.split_inputs ~n in
+  ignore
+    (Engine.run proto ~adversary:(passive ()) ~n ~budget:0 ~inputs
+       ~max_rounds:250 ~seed)
+
+let experiment_tests =
+  [ Test.make ~name:"e1.eraser-vs-sub-hm"
+      (Staged.stage (fun () ->
+           let params = Params.make ~lambda:20 ~max_epochs:5 () in
+           let proto = Sub_hm.protocol ~params ~world:`Hybrid in
+           let inputs = Scenario.unanimous_inputs ~n:401 true in
+           ignore
+             (Engine.run proto ~adversary:(Baattacks.Eraser.make ()) ~n:401
+                ~budget:150 ~inputs ~max_rounds:40 ~seed:1L)));
+    Test.make ~name:"e1b.dolev-reischuk-isolation"
+      (Staged.stage (fun () ->
+           let proto = Babaselines.Sparse_relay.protocol ~d:8 in
+           let inputs = Array.make 41 true in
+           ignore
+             (Engine.run proto
+                ~adversary:(Baattacks.Dolev_reischuk.make ~victim:40 ())
+                ~n:41 ~budget:20 ~inputs ~max_rounds:46 ~seed:1L)));
+    Test.make ~name:"e2.sub-hm-n801"
+      (Staged.stage (run_sub_hm ~n:801 ~lambda:40 ~world:`Hybrid ~seed:2L));
+    Test.make ~name:"e3.quadratic-hm-n101"
+      (Staged.stage (fun () ->
+           let inputs = Scenario.split_inputs ~n:101 in
+           ignore
+             (Engine.run (Quadratic_hm.protocol ()) ~adversary:(passive ())
+                ~n:101 ~budget:0 ~inputs ~max_rounds:200 ~seed:3L)));
+    Test.make ~name:"e3.nakamoto-k8"
+      (Staged.stage (fun () ->
+           let inputs = Scenario.unanimous_inputs ~n:50 true in
+           ignore
+             (Engine.run
+                (Babaselines.Nakamoto.protocol ~p:0.004 ~confirmations:8)
+                ~adversary:(passive ()) ~n:50 ~budget:0 ~inputs
+                ~max_rounds:4000 ~seed:4L)));
+    Test.make ~name:"e4.split-vote-sub-hm"
+      (Staged.stage (fun () ->
+           let params = Params.make ~lambda:40 ~max_epochs:40 () in
+           let proto = Sub_hm.protocol ~params ~world:`Hybrid in
+           let inputs = Scenario.unanimous_inputs ~n:200 true in
+           ignore
+             (Engine.run proto ~adversary:(Baattacks.Split_vote.sub_hm ())
+                ~n:200 ~budget:60 ~inputs ~max_rounds:170 ~seed:5L)));
+    Test.make ~name:"e5.equivocator-bit-agnostic"
+      (Staged.stage (fun () ->
+           let params = Params.make ~lambda:20 ~max_epochs:5 () in
+           let proto =
+             Sub_third.protocol ~params ~world:`Hybrid
+               ~mode:Sub_third.Bit_agnostic
+           in
+           let inputs = Scenario.split_inputs ~n:360 in
+           ignore
+             (Engine.run proto ~adversary:(Baattacks.Equivocator.make ())
+                ~n:360 ~budget:110 ~inputs ~max_rounds:14 ~seed:6L)));
+    Test.make ~name:"e5b.cm-equivocator-no-erasure"
+      (Staged.stage (fun () ->
+           let params = Params.make ~lambda:20 ~max_epochs:5 () in
+           let proto =
+             Babaselines.Chen_micali.protocol ~params ~erasure:false
+           in
+           let inputs = Scenario.split_inputs ~n:360 in
+           ignore
+             (Engine.run proto ~adversary:(Baattacks.Cm_equivocator.make ())
+                ~n:360 ~budget:110 ~inputs ~max_rounds:14 ~seed:6L)));
+    Test.make ~name:"e6.two-world-experiment"
+      (Staged.stage (fun () ->
+           ignore
+             (Baattacks.Setup_necessity.run ~n:200 ~committee_size:12
+                ~seed:7L)));
+    Test.make ~name:"e7.sub-hm-n601"
+      (Staged.stage (run_sub_hm ~n:601 ~lambda:40 ~world:`Hybrid ~seed:8L));
+    Test.make ~name:"e8.committee-takeover"
+      (Staged.stage (fun () ->
+           let proto =
+             Babaselines.Static_committee.protocol ~committee_size:12
+           in
+           let inputs = Scenario.unanimous_inputs ~n:200 false in
+           ignore
+             (Engine.run proto
+                ~adversary:(Baattacks.Takeover.make ~force:true ())
+                ~n:200 ~budget:24 ~inputs ~max_rounds:6 ~seed:9L)));
+    Test.make ~name:"e9.sub-hm-real-world-n61"
+      (Staged.stage (run_sub_hm ~n:61 ~lambda:24 ~world:`Real ~seed:10L));
+    Test.make ~name:"e10.broadcast-over-sub-hm"
+      (Staged.stage (fun () ->
+           let params = Params.make ~lambda:40 ~max_epochs:60 () in
+           let bb =
+             Broadcast.of_ba (Sub_hm.protocol ~params ~world:`Hybrid) ~sender:0
+           in
+           let inputs = Array.make 201 false in
+           inputs.(0) <- true;
+           ignore
+             (Engine.run bb ~adversary:(passive ()) ~n:201 ~budget:0 ~inputs
+                ~max_rounds:254 ~seed:11L)));
+    Test.make ~name:"e11.sub-hm-lambda80"
+      (Staged.stage (fun () ->
+           let params = Params.make ~lambda:80 ~max_epochs:40 () in
+           let proto = Sub_hm.protocol ~params ~world:`Hybrid in
+           let inputs = Scenario.unanimous_inputs ~n:200 true in
+           ignore
+             (Engine.run proto ~adversary:(Baattacks.Split_vote.sub_hm ())
+                ~n:200 ~budget:80 ~inputs ~max_rounds:170 ~seed:12L))) ]
+
+let crypto_tests =
+  let rng = Bacrypto.Rng.create 99L in
+  let pki = Bacrypto.Pki.setup ~n:8 rng in
+  let sk = Bacrypto.Pki.secret_key pki 0 in
+  let pk = Bacrypto.Pki.public_key pki 0 in
+  let params = Bacrypto.Pki.params pki in
+  let payload = String.make 1024 'x' in
+  let key = Bacrypto.Prf.gen rng in
+  let counter = ref 0 in
+  let precomputed = Bacrypto.Vrf.eval params sk "bench-verify" in
+  [ Test.make ~name:"sha256-1KiB"
+      (Staged.stage (fun () -> ignore (Bacrypto.Sha256.digest_string payload)));
+    Test.make ~name:"hmac-1KiB"
+      (Staged.stage (fun () -> ignore (Bacrypto.Hmac.mac ~key payload)));
+    Test.make ~name:"vrf-eval"
+      (Staged.stage (fun () ->
+           incr counter;
+           ignore (Bacrypto.Vrf.eval params sk (string_of_int !counter))));
+    Test.make ~name:"vrf-verify"
+      (Staged.stage (fun () ->
+           ignore (Bacrypto.Vrf.verify params pk "bench-verify" precomputed)));
+    Test.make ~name:"fmine-mine"
+      (Staged.stage
+         (let fmine = Bafmine.Fmine.create (Bacrypto.Rng.create 1L) in
+          fun () ->
+            incr counter;
+            ignore
+              (Bafmine.Fmine.mine fmine ~node:(!counter mod 1000)
+                 ~msg:"Vote:1:0" ~p:0.1))) ]
+
+let report results =
+  Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results []
+  |> List.sort compare
+  |> List.iter (fun (name, ols) ->
+         let estimate =
+           match Analyze.OLS.estimates ols with
+           | Some (t :: _) -> Printf.sprintf "%12.0f ns/run" t
+           | Some [] | None -> "(no estimate)"
+         in
+         Printf.printf "%-45s %s\n" name estimate)
+
+let () =
+  print_endline "\n### Bechamel micro/macro benchmarks\n";
+  let instances = Instance.[ monotonic_clock ] in
+  let quota = if quick then Time.second 0.1 else Time.second 0.5 in
+  let cfg = Benchmark.cfg ~limit:100 ~quota ~kde:None () in
+  let grouped =
+    Test.make_grouped ~name:"ba"
+      [ Test.make_grouped ~name:"experiments" experiment_tests;
+        Test.make_grouped ~name:"crypto" crypto_tests ]
+  in
+  let raw = Benchmark.all cfg instances grouped in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  report results;
+  print_endline "\nbench: done"

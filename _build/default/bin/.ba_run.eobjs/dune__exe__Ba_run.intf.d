@@ -1,0 +1,1 @@
+bin/ba_run.mli:

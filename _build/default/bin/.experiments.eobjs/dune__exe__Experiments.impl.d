@@ -1,0 +1,1 @@
+bin/experiments.ml: Arg Baexperiments Cmd Cmdliner List Printf Term

@@ -1,0 +1,268 @@
+(* Command-line runner: execute one protocol × adversary × parameter
+   configuration and print the outcome, the property verdict, and the
+   communication metrics.
+
+     dune exec bin/ba_run.exe -- --protocol sub-hm --n 201 --adversary \
+       split-vote --budget 60 --inputs split --seed 7
+*)
+
+open Basim
+open Bacore
+open Cmdliner
+
+type proto_choice =
+  | P_warmup
+  | P_sub_third
+  | P_sub_third_agnostic
+  | P_quadratic
+  | P_sub_hm
+  | P_sub_hm_real
+  | P_dolev_strong
+  | P_static_committee
+  | P_nakamoto
+  | P_sparse_relay
+  | P_chen_micali
+  | P_chen_micali_no_erasure
+
+let protocols =
+  [ ("warmup-third", P_warmup);
+    ("sub-third", P_sub_third);
+    ("sub-third-agnostic", P_sub_third_agnostic);
+    ("quadratic-hm", P_quadratic);
+    ("sub-hm", P_sub_hm);
+    ("sub-hm-real", P_sub_hm_real);
+    ("dolev-strong", P_dolev_strong);
+    ("static-committee", P_static_committee);
+    ("nakamoto", P_nakamoto);
+    ("sparse-relay", P_sparse_relay);
+    ("chen-micali", P_chen_micali);
+    ("chen-micali-no-erasure", P_chen_micali_no_erasure) ]
+
+type adv_choice =
+  | A_none
+  | A_eraser
+  | A_silencer
+  | A_split
+  | A_equivocator
+  | A_cm_equivocator
+
+let adversaries =
+  [ ("none", A_none);
+    ("eraser", A_eraser);
+    ("silencer", A_silencer);
+    ("split-vote", A_split);
+    ("equivocator", A_equivocator);
+    ("cm-equivocator", A_cm_equivocator) ]
+
+type inputs_choice = I_zero | I_one | I_split | I_random
+
+let inputs_choices =
+  [ ("zeros", I_zero); ("ones", I_one); ("split", I_split); ("random", I_random) ]
+
+let make_inputs choice ~n ~seed =
+  match choice with
+  | I_zero -> Scenario.unanimous_inputs ~n false
+  | I_one -> Scenario.unanimous_inputs ~n true
+  | I_split -> Scenario.split_inputs ~n
+  | I_random -> Scenario.random_inputs ~n seed
+
+let print_result ~label ~inputs result =
+  let verdict = Properties.agreement ~inputs result in
+  Printf.printf "protocol      : %s\n" label;
+  Printf.printf "rounds        : %d\n" result.Engine.rounds_used;
+  Printf.printf "corruptions   : %d\n" result.Engine.corruptions;
+  Printf.printf "verdict       : %s\n"
+    (Format.asprintf "%a" Properties.pp verdict);
+  Printf.printf "communication : %s\n"
+    (Format.asprintf "%a" Metrics.pp result.Engine.metrics);
+  let decided =
+    Array.to_list result.Engine.outputs |> List.filter_map (fun o -> o)
+  in
+  let ones = List.length (List.filter (fun b -> b) decided) in
+  Printf.printf "outputs       : %d decided (%d ones, %d zeros)\n"
+    (List.length decided) ones
+    (List.length decided - ones);
+  if Properties.ok verdict then 0 else 2
+
+(* Each protocol has its own message type, so the dispatch instantiates
+   engine, adversary, and printer together. *)
+let dispatch proto adv ~n ~budget ~lambda ~epochs ~inputs_choice ~seed ~trace =
+  let collector = if trace then Some (Trace.collector ()) else None in
+  let tracer =
+    match collector with
+    | Some c -> Trace.observe c
+    | None -> fun (_ : Trace.event) -> ()
+  in
+  let print_trace () =
+    match collector with
+    | Some c ->
+        print_endline "--- trace ---";
+        print_string (Trace.render c)
+    | None -> ()
+  in
+  let params = Params.make ~lambda ~max_epochs:epochs () in
+  let seed64 = Int64.of_int seed in
+  let inputs = make_inputs inputs_choice ~n ~seed:seed64 in
+  let max_rounds = (4 * epochs) + 12 in
+  let generic_adv () =
+    match adv with
+    | A_none -> Ok (Engine.passive ~name:"none" ~model:Corruption.Adaptive)
+    | A_eraser -> Ok (Baattacks.Eraser.make ())
+    | A_silencer -> Ok (Baattacks.Eraser.silencer ())
+    | A_split | A_equivocator | A_cm_equivocator ->
+        Error "this adversary only targets specific protocols"
+  in
+  let run_generic proto_rec label =
+    match generic_adv () with
+    | Error e ->
+        prerr_endline e;
+        1
+    | Ok adversary ->
+        let result =
+          Engine.run ~tracer proto_rec ~adversary ~n ~budget ~inputs ~max_rounds
+            ~seed:seed64
+        in
+        print_trace ();
+        print_result ~label ~inputs result
+  in
+  match proto with
+  | P_warmup -> run_generic (Warmup_third.protocol ~params) "warmup-third"
+  | P_quadratic -> run_generic (Quadratic_hm.protocol ()) "quadratic-hm"
+  | P_dolev_strong ->
+      run_generic
+        (Babaselines.Dolev_strong.protocol ~sender:0 ~f:((n - 1) / 3))
+        "dolev-strong"
+  | P_static_committee ->
+      run_generic
+        (Babaselines.Static_committee.protocol ~committee_size:lambda)
+        "static-committee"
+  | P_nakamoto ->
+      run_generic
+        (Babaselines.Nakamoto.protocol ~p:0.01 ~confirmations:6)
+        "nakamoto"
+  | P_sparse_relay ->
+      run_generic (Babaselines.Sparse_relay.protocol ~d:3) "sparse-relay"
+  | P_chen_micali | P_chen_micali_no_erasure ->
+      let erasure = proto = P_chen_micali in
+      let proto_rec = Babaselines.Chen_micali.protocol ~params ~erasure in
+      let adversary =
+        match adv with
+        | A_none -> Ok (Engine.passive ~name:"none" ~model:Corruption.Adaptive)
+        | A_eraser -> Ok (Baattacks.Eraser.make ())
+        | A_silencer -> Ok (Baattacks.Eraser.silencer ())
+        | A_cm_equivocator -> Ok (Baattacks.Cm_equivocator.make ())
+        | A_split | A_equivocator ->
+            Error "use cm-equivocator against chen-micali"
+      in
+      (match adversary with
+      | Error e ->
+          prerr_endline e;
+          1
+      | Ok adversary ->
+          let result =
+            Engine.run ~tracer proto_rec ~adversary ~n ~budget ~inputs
+              ~max_rounds ~seed:seed64
+          in
+          print_trace ();
+          print_result
+            ~label:(if erasure then "chen-micali" else "chen-micali-no-erasure")
+            ~inputs result)
+  | P_sub_third | P_sub_third_agnostic ->
+      let mode =
+        match proto with
+        | P_sub_third -> Sub_third.Bit_specific
+        | _ -> Sub_third.Bit_agnostic
+      in
+      let proto_rec = Sub_third.protocol ~params ~world:`Hybrid ~mode in
+      let adversary =
+        match adv with
+        | A_none -> Ok (Engine.passive ~name:"none" ~model:Corruption.Adaptive)
+        | A_eraser -> Ok (Baattacks.Eraser.make ())
+        | A_silencer -> Ok (Baattacks.Eraser.silencer ())
+        | A_split -> Ok (Baattacks.Split_vote.sub_third ())
+        | A_equivocator -> Ok (Baattacks.Equivocator.make ())
+        | A_cm_equivocator -> Error "cm-equivocator targets chen-micali"
+      in
+      (match adversary with
+      | Error e ->
+          prerr_endline e;
+          1
+      | Ok adversary ->
+          let result =
+            Engine.run ~tracer proto_rec ~adversary ~n ~budget ~inputs
+              ~max_rounds ~seed:seed64
+          in
+          print_trace ();
+          print_result ~label:"sub-third" ~inputs result)
+  | P_sub_hm | P_sub_hm_real ->
+      let world = match proto with P_sub_hm -> `Hybrid | _ -> `Real in
+      let proto_rec = Sub_hm.protocol ~params ~world in
+      let adversary =
+        match adv with
+        | A_none -> Ok (Engine.passive ~name:"none" ~model:Corruption.Adaptive)
+        | A_eraser -> Ok (Baattacks.Eraser.make ())
+        | A_silencer -> Ok (Baattacks.Eraser.silencer ())
+        | A_split -> Ok (Baattacks.Split_vote.sub_hm ())
+        | A_equivocator | A_cm_equivocator ->
+            Error "the equivocators target sub-third / chen-micali"
+      in
+      (match adversary with
+      | Error e ->
+          prerr_endline e;
+          1
+      | Ok adversary ->
+          let result =
+            Engine.run ~tracer proto_rec ~adversary ~n ~budget ~inputs
+              ~max_rounds ~seed:seed64
+          in
+          print_trace ();
+          print_result ~label:"sub-hm" ~inputs result)
+
+let proto_arg =
+  Arg.(
+    required
+    & opt (some (enum protocols)) None
+    & info [ "protocol"; "p" ] ~docv:"NAME"
+        ~doc:(Printf.sprintf "Protocol: %s." (String.concat ", " (List.map fst protocols))))
+
+let adv_arg =
+  Arg.(
+    value
+    & opt (enum adversaries) A_none
+    & info [ "adversary"; "a" ] ~docv:"NAME"
+        ~doc:(Printf.sprintf "Adversary: %s." (String.concat ", " (List.map fst adversaries))))
+
+let n_arg = Arg.(value & opt int 201 & info [ "n" ] ~doc:"Number of nodes.")
+
+let budget_arg =
+  Arg.(value & opt int 0 & info [ "budget"; "f" ] ~doc:"Corruption budget.")
+
+let lambda_arg =
+  Arg.(value & opt int 40 & info [ "lambda" ] ~doc:"Expected committee size λ.")
+
+let epochs_arg =
+  Arg.(value & opt int 40 & info [ "epochs" ] ~doc:"Epoch/iteration cap.")
+
+let inputs_arg =
+  Arg.(
+    value
+    & opt (enum inputs_choices) I_random
+    & info [ "inputs" ] ~docv:"KIND" ~doc:"Input bits: zeros, ones, split, random.")
+
+let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"RNG seed.")
+
+let trace_arg =
+  Arg.(value & flag & info [ "trace" ] ~doc:"Print a per-round event trace.")
+
+let main proto adv n budget lambda epochs inputs_choice seed trace =
+  dispatch proto adv ~n ~budget ~lambda ~epochs ~inputs_choice ~seed ~trace
+
+let cmd =
+  let doc = "Run one Byzantine Agreement protocol execution on the simulator" in
+  Cmd.v
+    (Cmd.info "ba_run" ~doc)
+    Term.(
+      const main $ proto_arg $ adv_arg $ n_arg $ budget_arg $ lambda_arg
+      $ epochs_arg $ inputs_arg $ seed_arg $ trace_arg)
+
+let () = exit (Cmd.eval' cmd)

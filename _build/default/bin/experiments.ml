@@ -1,0 +1,45 @@
+(* CLI for the experiment suite: runs E1–E9 (or a chosen one) and prints
+   the tables recorded in EXPERIMENTS.md. *)
+
+open Cmdliner
+
+let quick =
+  Arg.(value & flag & info [ "quick" ] ~doc:"Reduced repetitions (smoke run).")
+
+let only =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "only" ] ~docv:"ID" ~doc:"Run a single experiment (E1, E1b, … E11).")
+
+let list_flag =
+  Arg.(value & flag & info [ "list" ] ~doc:"List experiments and exit.")
+
+let main quick only list_flag =
+  if list_flag then begin
+    List.iter
+      (fun e ->
+        Printf.printf "%-4s %s\n" e.Baexperiments.All.id e.Baexperiments.All.claim)
+      Baexperiments.All.experiments;
+    0
+  end
+  else
+    match only with
+    | None ->
+        Baexperiments.All.run_all ~quick ();
+        0
+    | Some id ->
+        if Baexperiments.All.run_one ~quick id then 0
+        else begin
+          Printf.eprintf "unknown experiment %S (try --list)\n" id;
+          1
+        end
+
+let cmd =
+  let doc =
+    "Regenerate the evaluation of 'Communication Complexity of Byzantine \
+     Agreement, Revisited' (PODC 2019)"
+  in
+  Cmd.v (Cmd.info "experiments" ~doc) Term.(const main $ quick $ only $ list_flag)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,1 @@
+examples/adaptive_attack.ml: Baattacks Bacore Basim Engine Format Metrics Params Printf Properties Quadratic_hm Scenario Sub_hm

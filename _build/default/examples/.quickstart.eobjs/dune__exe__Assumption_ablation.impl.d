@@ -1,0 +1,1 @@
+examples/assumption_ablation.ml: Baattacks Babaselines Bacore Basim Engine Params Printf Properties Scenario Sub_third

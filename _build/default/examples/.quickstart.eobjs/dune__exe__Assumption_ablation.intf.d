@@ -1,0 +1,1 @@
+examples/assumption_ablation.mli:

@@ -1,0 +1,1 @@
+examples/committee_scaling.ml: Bacore Basim Bastats Corruption Engine List Metrics Params Printf Quadratic_hm Scenario Sub_hm

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Bacore Basim Corruption Engine Format Fun List Metrics Params Printf Properties Scenario Sub_hm

@@ -1,0 +1,1 @@
+examples/setup_necessity.mli:

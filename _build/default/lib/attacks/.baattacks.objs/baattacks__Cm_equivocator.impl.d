@@ -1,0 +1,1 @@
+lib/attacks/cm_equivocator.ml: Array Babaselines Bacrypto Basim Chen_micali Corruption Engine List

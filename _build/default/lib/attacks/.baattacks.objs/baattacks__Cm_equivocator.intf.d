@@ -1,0 +1,1 @@
+lib/attacks/cm_equivocator.mli: Babaselines Basim

@@ -1,0 +1,1 @@
+lib/attacks/dolev_reischuk.ml: Array Babaselines Basim Corruption Engine Hashtbl List Sparse_relay

@@ -1,0 +1,1 @@
+lib/attacks/dolev_reischuk.mli: Babaselines Basim

@@ -1,0 +1,1 @@
+lib/attacks/equivocator.ml: Array Bacore Bafmine Basim Corruption Engine List Sub_third

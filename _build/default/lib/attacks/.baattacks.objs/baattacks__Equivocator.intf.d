@@ -1,0 +1,1 @@
+lib/attacks/equivocator.mli: Bacore Basim

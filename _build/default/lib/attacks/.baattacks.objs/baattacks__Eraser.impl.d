@@ -1,0 +1,1 @@
+lib/attacks/eraser.ml: Array Basim Corruption Engine List

@@ -1,0 +1,1 @@
+lib/attacks/setup_necessity.ml: Array Bacrypto Hashtbl List

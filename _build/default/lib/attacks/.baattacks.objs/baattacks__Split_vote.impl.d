@@ -1,0 +1,1 @@
+lib/attacks/split_vote.ml: Bacore Bafmine Basim Cert Corruption Engine Hashtbl List Option Quadratic_hm Sub_hm Sub_third

@@ -1,0 +1,1 @@
+lib/attacks/split_vote.mli: Bacore Basim

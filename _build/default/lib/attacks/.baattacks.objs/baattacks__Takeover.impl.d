@@ -1,0 +1,1 @@
+lib/attacks/takeover.ml: Babaselines Basim Corruption Engine List Static_committee

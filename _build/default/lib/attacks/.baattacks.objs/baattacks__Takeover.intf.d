@@ -1,0 +1,1 @@
+lib/attacks/takeover.mli: Babaselines Basim

@@ -1,0 +1,22 @@
+(** The §3.3 equivocation attack aimed at the Chen–Micali-style protocol
+    ({!Babaselines.Chen_micali}) — the other half of experiment E5b.
+
+    On seeing an honest [(ACK, r, b)], the adversary corrupts the sender
+    and tries to also send [(ACK, r, 1−b)]. The round-specific
+    eligibility ticket replays for free (it does not name the bit); what
+    stands in the way is the forward-secure slot signature:
+
+    - in the {b memory-erasure model} the node erased its slot-[r] key
+      atomically with the send, so {!Bacrypto.Forward_secure.corrupt}
+      yields only future slots and the forgery fails — Chen–Micali holds;
+    - {b without erasure} the adversary gets the master key, signs the
+      opposite bit for slot [r], and mirrors the committee — the attack
+      succeeds, showing the erasure assumption is load-bearing.
+
+    The paper's protocol needs neither: bit-specific eligibility makes
+    the ticket itself non-replayable (see {!Equivocator}). *)
+
+val make :
+  unit ->
+  (Babaselines.Chen_micali.env, Babaselines.Chen_micali.msg)
+  Basim.Engine.adversary

@@ -1,0 +1,28 @@
+(** The Dolev–Reischuk-style isolation adversary [A′] (Theorem 4's proof,
+    specialized to the deterministic {!Babaselines.Sparse_relay} victim)
+    — experiment E1b.
+
+    In the sparse-relay protocol every copy of the bit addressed to the
+    victim comes from its [d] ring predecessors. The adversary corrupts
+    exactly those [d] nodes at setup; thereafter it simulates their
+    honest behaviour faithfully {e except} that they never send to the
+    victim (this is precisely "ignore messages to [p], behave honestly to
+    everyone else"). The victim hears nothing, times out, and outputs the
+    default bit 0 while everyone else outputs the sender's bit —
+    consistency (and validity, when the bit is 1) is violated with only
+    [d] corruptions.
+
+    The defence is redundancy: with [d > f] the budget cannot cover the
+    predecessors — and the protocol then sends more than [n·f = Ω(f²)]
+    messages (for [n = Θ(f)]), the Dolev–Reischuk bound made concrete. *)
+
+val make :
+  victim:int ->
+  unit ->
+  (Babaselines.Sparse_relay.env, Babaselines.Sparse_relay.msg)
+  Basim.Engine.adversary
+(** [make ~victim ()] isolates [victim]. [victim] must not be the sender
+    (node 0), and the victim's predecessor set must not contain node 0 —
+    use [victim = n−1] with [d ≤ n−2]. If the budget is smaller than
+    [d], only the first [budget] predecessors are corrupted and the
+    attack (correctly) fails. *)

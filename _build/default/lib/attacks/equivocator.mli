@@ -1,0 +1,26 @@
+(** The §3.3-Remark adversary for experiment E5: why eligibility must be
+    {e bit-specific}.
+
+    A merely adaptive adversary (no after-the-fact removal) watches the
+    ACK round of {!Bacore.Sub_third}. Whenever an honest node reveals
+    itself by sending [(ACK, r, b)], the adversary instantly corrupts it
+    and tries to make it also send [(ACK, r, 1−b)] in the same round —
+    the original ACK cannot be retracted, but extra messages are allowed.
+    Two avenues:
+
+    + {b replay} the revealed eligibility credential on the opposite bit
+      — succeeds iff eligibility is bit-{e agnostic} (the ticket names
+      only (ACK, r)); with bit-specific tickets the replay fails
+      verification;
+    + {b fresh mining} of (ACK, r, 1−b) with the corrupted key —
+      legitimate but succeeds only with probability [λ/n]: corrupting the
+      node gained essentially nothing, which is precisely the paper's
+      point.
+
+    Against the bit-agnostic protocol with split inputs this mirrors
+    every epoch committee, producing "ample ACKs" for both bits, so
+    honest beliefs never converge and outputs disagree; against the
+    bit-specific protocol the very same adversary is impotent. *)
+
+val make : unit -> (Bacore.Sub_third.env, Bacore.Sub_third.msg) Basim.Engine.adversary
+(** A fresh equivocator (adaptive, no removal). *)

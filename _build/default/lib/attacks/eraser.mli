@@ -1,0 +1,30 @@
+(** The strongly adaptive {e eraser} — the adversary of Theorem 1/4 in its
+    simplest executable form, and the centrepiece of experiment E1.
+
+    Every round it watches which honest nodes are about to multicast,
+    corrupts each speaker, and {e after-the-fact removes} every message
+    the speaker just sent, until the corruption budget runs out. It is
+    protocol-agnostic: it never parses messages, so the same value
+    attacks every protocol in the repository.
+
+    Consequences, exactly as the theorem predicts:
+
+    - against a subquadratic protocol ({!Bacore.Sub_hm}), the set of
+      speakers over the whole execution is [O(λ²) ≪ f], so the eraser
+      silences {e everyone}: no quorum ever forms and the protocol cannot
+      terminate (or, for fixed-duration protocols, validity breaks);
+    - against a quadratic protocol ([n = 2f+1] speakers {e per round}),
+      the budget dies in the first round while [f+1] honest speakers
+      remain — exactly a quorum — and the protocol sails through.
+
+    A protocol can only survive this adversary by having [Ω(f)] nodes
+    speak per round for [Ω(f)] rounds — [Ω(f²)] messages. *)
+
+val make : unit -> ('env, 'msg) Basim.Engine.adversary
+(** A fresh eraser (strongly adaptive). *)
+
+val silencer : unit -> ('env, 'msg) Basim.Engine.adversary
+(** The weaker cousin used as a control: same corruption schedule but
+    {e without} removals (merely adaptive). Shows that the corruptions
+    alone are harmless — it is specifically the after-the-fact removal
+    power that kills subquadratic protocols. *)

@@ -1,0 +1,115 @@
+(* The two-world (Q — 1 — Q') simulation of Appendix B, over a PKI-free
+   echo-committee broadcast.  This experiment needs its own harness: it
+   runs 2n−1 honest instances wired in a topology the normal engine does
+   not (and should not) support. *)
+
+type msg = Inp of bool | Echo of bool
+
+(* One protocol instance.  Identities are the paper's 1..n; the sender is
+   node 2.  Without a PKI, a received message carries only the claimed
+   identity of its sender — which is exactly what node 1 gets from both
+   sides. *)
+type instance = {
+  id : int;
+  mutable learned : bool option;          (* bit attributed to the sender *)
+  mutable echoes : (int * bool) list;     (* first echo per identity *)
+}
+
+let sender_id = 2
+
+let make_instance id = { id; learned = None; echoes = [] }
+
+let receive inst (from_id, m) =
+  match m with
+  | Inp b -> if from_id = sender_id && inst.learned = None then inst.learned <- Some b
+  | Echo b ->
+      if not (List.mem_assoc from_id inst.echoes) then
+        inst.echoes <- (from_id, b) :: inst.echoes
+
+let decide inst =
+  let ones = List.length (List.filter snd inst.echoes) in
+  let zeros = List.length inst.echoes - ones in
+  ones > zeros
+
+type outcome = {
+  n : int;
+  committee_size : int;
+  q_output : bool option;
+  q'_output : bool option;
+  node1_output : bool;
+  multicast_complexity : int;
+  corruptions_needed : int;
+  contradiction : bool;
+}
+
+let unanimous = function
+  | [] -> None
+  | b :: rest -> if List.for_all (fun x -> x = b) rest then Some b else None
+
+let run ~n ~committee_size ~seed =
+  if n < 3 then invalid_arg "Setup_necessity.run: n must be at least 3";
+  if committee_size > n - 1 then
+    invalid_arg "Setup_necessity.run: committee larger than {2..n}";
+  (* Public CRS: a committee drawn from identities {2..n} — chosen
+     independently of corruptions, visible to everyone. *)
+  let rng = Bacrypto.Rng.create seed in
+  let committee =
+    List.map
+      (fun k -> k + 2)
+      (Bacrypto.Rng.sample_without_replacement rng committee_size (n - 1))
+  in
+  (* Instances: Q side and Q' side hold nodes 2..n; node 1 is shared. *)
+  let q = Array.init (n + 1) (fun id -> make_instance id) in
+  let q' = Array.init (n + 1) (fun id -> make_instance id) in
+  let node1 = make_instance 1 in
+  let side_multicasts = ref 0 in
+  let speakers = Hashtbl.create 16 in
+  (* Deliver a multicast from [from_id] within one side (plus node 1).
+     Deliveries to node 1 happen for *both* sides; Q is delivered first,
+     matching an arbitrary but fixed channel order. *)
+  let deliver_side side ~from_id m ~count =
+    if count then begin
+      incr side_multicasts;
+      Hashtbl.replace speakers from_id ()
+    end;
+    for id = 2 to n do
+      receive side.(id) (from_id, m)
+    done;
+    receive node1 (from_id, m)
+  in
+  (* Round 0: the two senders multicast their inputs (0 in Q, 1 in Q'). *)
+  deliver_side q ~from_id:sender_id (Inp false) ~count:true;
+  deliver_side q' ~from_id:sender_id (Inp true) ~count:false;
+  (* count only one world's multicasts for the complexity figure; the
+     speakers table covers the simulated (Q') side separately below. *)
+  Hashtbl.replace speakers sender_id ();
+  (* Round 1: committee members echo what they attribute to the sender. *)
+  List.iter
+    (fun id ->
+      (match q.(id).learned with
+      | Some b -> deliver_side q ~from_id:id (Echo b) ~count:true
+      | None -> ());
+      match q'.(id).learned with
+      | Some b ->
+          deliver_side q' ~from_id:id (Echo b) ~count:false;
+          Hashtbl.replace speakers id ()
+      | None -> ())
+    committee;
+  (* Round 2: decisions. *)
+  let q_outputs = List.init (n - 1) (fun k -> decide q.(k + 2)) in
+  let q'_outputs = List.init (n - 1) (fun k -> decide q'.(k + 2)) in
+  let node1_output = decide node1 in
+  let q_output = unanimous q_outputs and q'_output = unanimous q'_outputs in
+  let contradiction =
+    match (q_output, q'_output) with
+    | Some a, Some b -> a <> b
+    | _ -> false
+  in
+  { n;
+    committee_size;
+    q_output;
+    q'_output;
+    node1_output;
+    multicast_complexity = !side_multicasts;
+    corruptions_needed = Hashtbl.length speakers;
+    contradiction }

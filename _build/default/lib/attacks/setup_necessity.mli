@@ -1,0 +1,41 @@
+(** The Theorem-3 / Appendix-B hypothetical experiment: without a PKI (or
+    any setup binding identities to keys), no multicast protocol with
+    multicast complexity [C] tolerates [C] adaptive corruptions.
+
+    The victim protocol is a natural PKI-{e free}, sublinear-multicast
+    broadcast: a public CRS names a [λ]-sized committee out of
+    [{2..n}]; the sender (node 2) multicasts its bit; committee members
+    echo it; everyone outputs the per-identity-deduplicated majority of
+    echoes. Its multicast complexity is [1 + λ ≪ n], and over
+    authenticated channels with honest participants it is perfectly
+    correct — the two-world experiment is what kills it.
+
+    The experiment wires [2n − 1] honest protocol instances as in the
+    paper: a set [Q] (nodes 2…n, sender input 0), a set [Q′] (nodes 2…n,
+    sender input 1), and a single shared node 1 that hears both sides and
+    cannot tell [i ∈ Q] from [i ∈ Q′] — without a PKI the channel
+    carries only the claimed identity. By validity (corrupt-1
+    interpretation), [Q] decides 0 and [Q′] decides 1; by consistency
+    (honest-1 interpretation, where the other side is simulated by an
+    adversary that corrupts one real node per simulated speaker), node 1
+    must agree with {e both} — a contradiction realized as an actual
+    disagreement in the output record. The number of corruptions the
+    simulating adversary needs equals the number of speakers, which is
+    bounded by the multicast complexity. *)
+
+type outcome = {
+  n : int;
+  committee_size : int;
+  q_output : bool option;        (** unanimous output of Q, if unanimous *)
+  q'_output : bool option;       (** unanimous output of Q′, if unanimous *)
+  node1_output : bool;
+  multicast_complexity : int;    (** honest multicasts in one world *)
+  corruptions_needed : int;      (** speakers in the simulated side *)
+  contradiction : bool;
+      (** both sides unanimous with different bits, so node 1 necessarily
+          disagrees with one of them *)
+}
+
+val run : n:int -> committee_size:int -> seed:int64 -> outcome
+(** Execute the hypothetical experiment.
+    @raise Invalid_argument if [committee_size > n - 1] or [n < 3]. *)

@@ -1,0 +1,26 @@
+(** Double-voting Byzantine strategies for the resilience sweep (E4).
+
+    Corrupt nodes are taken over at setup and thereafter mine and send
+    protocol messages for {e both} bits wherever the rules allow,
+    targeting conflicting messages at the two halves of the network to
+    maximize divergence. Everything the adversary sends is {e legitimate}
+    — real mined credentials of corrupt nodes, real corrupt-node
+    signatures — so the failure rates measured under this adversary trace
+    each protocol's genuine resilience threshold:
+
+    - {!sub_third}: corrupt nodes ACK both bits each epoch and send
+      targeted proposals (bit 0 to the lower half of the network, bit 1
+      to the upper half). The ⅓ protocol's honest ACK committee drops
+      below the [2λ/3] quorum once [f > n/3], honest nodes un-stick, and
+      the targeted proposals split them.
+    - {!sub_hm}: corrupt nodes double-vote in iteration 1 (votes need no
+      proposal there), blockade later iterations with conflicting
+      proposals, and assemble their own certificates, commits, and
+      targeted Commit storms. Corrupt committees reach the [λ/2] quorum
+      only once [f ≥ n/2] — the honest-majority protocol's threshold. *)
+
+val sub_third :
+  unit -> (Bacore.Sub_third.env, Bacore.Sub_third.msg) Basim.Engine.adversary
+
+val sub_hm :
+  unit -> (Bacore.Sub_hm.env, Bacore.Sub_hm.msg) Basim.Engine.adversary

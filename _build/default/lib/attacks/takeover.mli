@@ -1,0 +1,25 @@
+(** The committee-takeover adversary of experiment E8 — the paper's §1
+    motivation for why CRS-selected committees fail against adaptive
+    corruption.
+
+    The committee of {!Babaselines.Static_committee} is public the moment
+    the CRS is published. An adaptive adversary corrupts the whole
+    committee in round 0 (their round-0 vote intents cannot be retracted,
+    but it does not matter) and in round 1 injects unanimous Result
+    announcements for the adversary's bit. Every honest node adopts the
+    committee majority — the adversary's bit — so validity is violated
+    whenever honest inputs are unanimous for the other bit.
+
+    The same corruption budget aimed at {!Bacore.Sub_hm} achieves
+    nothing: its per-message committees are secret until the moment they
+    speak, and bit-specific, so there is nothing useful to take over. *)
+
+val make :
+  force:bool ->
+  unit ->
+  (Babaselines.Static_committee.env, Babaselines.Static_committee.msg)
+  Basim.Engine.adversary
+(** [make ~force ()] corrupts the published committee and forces the
+    output [force]. Requires budget ≥ committee size (extra committee
+    members beyond the budget are left honest — the attack then needs
+    only a corrupt majority of the committee to win the Result vote). *)

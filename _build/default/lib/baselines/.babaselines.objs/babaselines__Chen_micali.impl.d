@@ -1,0 +1,1 @@
+lib/baselines/chen_micali.ml: Bacore Bacrypto Bafmine Basim Int List Params Printf Set

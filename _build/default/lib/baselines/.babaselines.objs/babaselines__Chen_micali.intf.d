@@ -1,0 +1,1 @@
+lib/baselines/chen_micali.mli: Bacore Bacrypto Bafmine Basim

@@ -1,0 +1,1 @@
+lib/baselines/dolev_strong.ml: Bacrypto Basim Int List Printf Set Signature

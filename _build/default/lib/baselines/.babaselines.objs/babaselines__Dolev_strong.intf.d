@@ -1,0 +1,1 @@
+lib/baselines/dolev_strong.mli: Bacrypto Basim

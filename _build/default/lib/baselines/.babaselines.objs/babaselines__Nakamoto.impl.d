@@ -1,0 +1,1 @@
+lib/baselines/nakamoto.ml: Bacrypto Basim List String

@@ -1,0 +1,1 @@
+lib/baselines/sparse_relay.ml: Basim List Option

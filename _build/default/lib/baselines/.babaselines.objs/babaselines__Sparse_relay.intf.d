@@ -1,0 +1,1 @@
+lib/baselines/sparse_relay.mli: Basim

@@ -1,0 +1,1 @@
+lib/baselines/static_committee.ml: Bacrypto Basim List Printf Rng Signature

@@ -1,0 +1,1 @@
+lib/baselines/static_committee.mli: Bacrypto Basim

@@ -1,0 +1,110 @@
+open Bacrypto
+
+type env = { n : int; f : int; sigs : Signature.scheme }
+
+type msg = { bit : bool; chain : (int * Signature.tag) list }
+
+module Iset = Set.Make (Int)
+
+type state = {
+  me : int;
+  designated : int;
+  input : bool;
+  mutable extracted : (bool * (int * Signature.tag) list) list;
+      (* extracted bits with a witnessing chain *)
+  mutable relayed : bool list;  (* bits already relayed *)
+  mutable out : bool option;
+  mutable stopped : bool;
+}
+
+let bit_stmt bit = Printf.sprintf "ds:bit:%d" (if bit then 1 else 0)
+
+(* A chain is valid at round r iff it has >= r distinct valid signatures
+   on the bit and the first signer is the designated sender. *)
+let valid_chain env ~designated ~round { bit; chain } =
+  match chain with
+  | [] -> false
+  | (first, _) :: _ ->
+      first = designated
+      &&
+      let distinct =
+        List.fold_left
+          (fun seen (node, tag) ->
+            if Iset.mem node seen then seen
+            else if Signature.verify env.sigs ~signer:node (bit_stmt bit) tag
+            then Iset.add node seen
+            else seen)
+          Iset.empty chain
+      in
+      Iset.cardinal distinct >= round
+
+let protocol ~sender ~f =
+  let make_env ~n rng =
+    if f >= n then invalid_arg "Dolev_strong: f must be below n";
+    { n; f; sigs = Signature.setup ~n rng }
+  in
+  let init _env ~rng:_ ~n:_ ~me ~input =
+    { me;
+      designated = sender;
+      input;
+      extracted = [];
+      relayed = [];
+      out = None;
+      stopped = false }
+  in
+  let step env state ~round ~inbox =
+    if round = 0 then begin
+      let sends =
+        if state.me = sender then begin
+          let tag = Signature.sign env.sigs ~signer:sender (bit_stmt state.input) in
+          state.extracted <- [ (state.input, [ (sender, tag) ]) ];
+          state.relayed <- [ state.input ];
+          [ Basim.Engine.multicast { bit = state.input; chain = [ (sender, tag) ] } ]
+        end
+        else []
+      in
+      (state, sends)
+    end
+    else if round <= env.f + 1 then begin
+      (* Extract newly certified bits and relay them with our signature. *)
+      let sends = ref [] in
+      List.iter
+        (fun (_src, m) ->
+          if
+            valid_chain env ~designated:state.designated ~round m
+            && not (List.mem_assoc m.bit state.extracted)
+          then begin
+            state.extracted <- (m.bit, m.chain) :: state.extracted;
+            if (not (List.mem m.bit state.relayed)) && round <= env.f then begin
+              state.relayed <- m.bit :: state.relayed;
+              let tag = Signature.sign env.sigs ~signer:state.me (bit_stmt m.bit) in
+              sends :=
+                Basim.Engine.multicast
+                  { bit = m.bit; chain = m.chain @ [ (state.me, tag) ] }
+                :: !sends
+            end
+          end)
+        inbox;
+      (state, !sends)
+    end
+    else begin
+      (* Round f+2: decide. *)
+      (match state.extracted with
+      | [ (b, _) ] -> state.out <- Some b
+      | [] | _ :: _ :: _ -> state.out <- Some false);
+      state.stopped <- true;
+      (state, [])
+    end
+  in
+  let msg_bits _env m =
+    8 + (List.length m.chain * (32 + Signature.tag_bits))
+  in
+  { Basim.Engine.proto_name = "dolev-strong";
+    make_env;
+    init;
+    step;
+    output = (fun s -> s.out);
+    halted = (fun s -> s.stopped);
+    msg_bits }
+
+let valid_msg env ~sender ~round m = valid_chain env ~designated:sender ~round m

@@ -1,0 +1,46 @@
+(** Dolev–Strong authenticated Byzantine Broadcast (1983) — the classic
+    [f+1]-round, signature-chain protocol the paper cites ([13]) as the
+    archetypal protocol that {e is} secure against a strongly adaptive
+    adversary, at quadratic-plus communication cost.
+
+    Round 0: the designated sender signs its bit and multicasts it.
+    Rounds 1…f+1: on receiving a bit [b] carried by a chain of [r]
+    signatures from distinct nodes, the first of them the sender's, a node
+    that has not yet extracted [b] adds [b] to its extracted set, appends
+    its own signature, and relays. After round [f+1]: output the unique
+    extracted bit, or the default bit 0 if zero or two bits were
+    extracted.
+
+    Because the protocol is deterministic and every honest node relays,
+    erasing messages after the fact merely mimics corrupting the sender —
+    it cannot create disagreement. The paper's Theorem 1 explains the
+    price: its communication is [Ω(n²·f)] bits. Experiment E1 runs this
+    protocol against the same strongly adaptive eraser that destroys the
+    subquadratic protocol. *)
+
+type env = {
+  n : int;
+  f : int;  (** tolerated corruptions: rounds = f + 2 *)
+  sigs : Bacrypto.Signature.scheme;
+}
+
+type msg = {
+  bit : bool;
+  chain : (int * Bacrypto.Signature.tag) list;
+      (** signature chain, sender first *)
+}
+
+type state
+
+val protocol :
+  sender:int -> f:int -> (env, state, msg) Basim.Engine.protocol
+(** Byzantine Broadcast with designated [sender], tolerating up to [f]
+    corruptions. The engine's inputs array is read only at [sender]. *)
+
+val bit_stmt : bool -> string
+(** The statement every chain signature covers — exposed for adversaries
+    forging corrupt-node links. *)
+
+val valid_msg : env -> sender:int -> round:int -> msg -> bool
+(** Chain validity at a given round: at least [round] distinct valid
+    signatures, the first from the designated sender. *)

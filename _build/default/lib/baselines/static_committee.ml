@@ -1,0 +1,96 @@
+open Bacrypto
+
+type env = { n : int; committee : int list; sigs : Signature.scheme }
+
+type msg =
+  | Committee_vote of { bit : bool; tag : Signature.tag }
+  | Result of { bit : bool; tag : Signature.tag }
+
+type state = {
+  me : int;
+  input : bool;
+  mutable out : bool option;
+  mutable stopped : bool;
+}
+
+let vote_stmt bit = Printf.sprintf "sc:vote:%d" (if bit then 1 else 0)
+
+let result_stmt bit = Printf.sprintf "sc:result:%d" (if bit then 1 else 0)
+
+let sign_result env ~signer ~bit =
+  Result { bit; tag = Signature.sign env.sigs ~signer (result_stmt bit) }
+
+let majority pairs =
+  let ones = List.length (List.filter snd pairs) in
+  let zeros = List.length pairs - ones in
+  ones > zeros
+
+let protocol ~committee_size =
+  let make_env ~n rng =
+    if committee_size <= 0 || committee_size > n then
+      invalid_arg "Static_committee: bad committee size";
+    let committee = Rng.sample_without_replacement rng committee_size n in
+    { n; committee; sigs = Signature.setup ~n rng }
+  in
+  let init _env ~rng:_ ~n:_ ~me ~input = { me; input; out = None; stopped = false } in
+  let on_committee env me = List.mem me env.committee in
+  let step env state ~round ~inbox =
+    match round with
+    | 0 ->
+        let sends =
+          if on_committee env state.me then
+            [ Basim.Engine.multicast
+                (Committee_vote
+                   { bit = state.input;
+                     tag = Signature.sign env.sigs ~signer:state.me (vote_stmt state.input) }) ]
+          else []
+        in
+        (state, sends)
+    | 1 ->
+        let sends =
+          if on_committee env state.me then begin
+            let votes =
+              List.filter_map
+                (fun (src, m) ->
+                  match m with
+                  | Committee_vote { bit; tag }
+                    when List.mem src env.committee
+                         && Signature.verify env.sigs ~signer:src (vote_stmt bit) tag ->
+                      Some (src, bit)
+                  | Committee_vote _ | Result _ -> None)
+                inbox
+            in
+            let dedup =
+              List.sort_uniq compare (List.map (fun (s, b) -> (s, b)) votes)
+            in
+            let bit = majority dedup in
+            [ Basim.Engine.multicast
+                (Result
+                   { bit; tag = Signature.sign env.sigs ~signer:state.me (result_stmt bit) }) ]
+          end
+          else []
+        in
+        (state, sends)
+    | _ ->
+        let results =
+          List.filter_map
+            (fun (src, m) ->
+              match m with
+              | Result { bit; tag }
+                when List.mem src env.committee
+                     && Signature.verify env.sigs ~signer:src (result_stmt bit) tag ->
+                  Some (src, bit)
+              | Result _ | Committee_vote _ -> None)
+            inbox
+        in
+        state.out <- Some (majority (List.sort_uniq compare results));
+        state.stopped <- true;
+        (state, [])
+  in
+  { Basim.Engine.proto_name = "static-committee";
+    make_env;
+    init;
+    step;
+    output = (fun s -> s.out);
+    halted = (fun s -> s.stopped);
+    msg_bits = (fun _ _ -> 9 + Signature.tag_bits) }

@@ -1,0 +1,1 @@
+lib/core/broadcast.ml: Bacrypto Basim List Option

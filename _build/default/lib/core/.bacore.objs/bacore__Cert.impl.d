@@ -1,0 +1,1 @@
+lib/core/cert.ml: Int List Set

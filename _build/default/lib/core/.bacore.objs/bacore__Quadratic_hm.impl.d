@@ -1,0 +1,1 @@
+lib/core/quadratic_hm.ml: Array Bacrypto Basim Cert Hashtbl Int List Option Printf Rng Set Signature

@@ -1,0 +1,1 @@
+lib/core/quadratic_hm.mli: Bacrypto Basim Cert Hashtbl

@@ -1,0 +1,1 @@
+lib/core/sub_hm.ml: Bacrypto Bafmine Basim Cert Compiler Eligibility Fmine Hashtbl Int List Option Params Printf Quadratic_hm Set

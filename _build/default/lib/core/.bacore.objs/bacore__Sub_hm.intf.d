@@ -1,0 +1,1 @@
+lib/core/sub_hm.mli: Bacrypto Bafmine Basim Cert Hashtbl Params Quadratic_hm

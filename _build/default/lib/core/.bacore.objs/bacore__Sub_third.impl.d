@@ -1,0 +1,1 @@
+lib/core/sub_third.ml: Bacrypto Bafmine Basim Int List Params Set

@@ -1,0 +1,1 @@
+lib/core/sub_third.mli: Bacrypto Bafmine Basim Params

@@ -1,0 +1,1 @@
+lib/core/warmup_third.ml: Bacrypto Basim Int List Option Params Printf Rng Set Signature

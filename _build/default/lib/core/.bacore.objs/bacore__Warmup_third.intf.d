@@ -1,0 +1,1 @@
+lib/core/warmup_third.mli: Bacrypto Basim Params

@@ -1,0 +1,76 @@
+type 'm msg = Input of bool | Inner of 'm
+
+type 's state =
+  | Announcing of {
+      me : int;
+      n : int;
+      rng : Bacrypto.Rng.t;
+      input : bool;  (* meaningful only at the sender *)
+    }
+  | Running of 's
+
+let of_ba (ba : ('e, 's, 'm) Basim.Engine.protocol) ~sender =
+  let wrap_sends sends =
+    List.map
+      (fun { Basim.Engine.dst; payload } ->
+        { Basim.Engine.dst; payload = Inner payload })
+      sends
+  in
+  let unwrap_inbox inbox =
+    List.filter_map
+      (fun (src, m) -> match m with Inner im -> Some (src, im) | Input _ -> None)
+      inbox
+  in
+  let init _env ~rng ~n ~me ~input = Announcing { me; n; rng; input } in
+  let step env state ~round ~inbox =
+    match state with
+    | Announcing { me; n; rng; input } ->
+        if round = 0 then begin
+          let sends =
+            if me = sender then [ Basim.Engine.multicast (Input input) ] else []
+          in
+          (state, sends)
+        end
+        else begin
+          (* Round 1: adopt the sender's announcement as the BA input. *)
+          let announced =
+            List.find_map
+              (fun (src, m) ->
+                match m with
+                | Input b when src = sender -> Some b
+                | Input _ | Inner _ -> None)
+              inbox
+          in
+          let ba_input = Option.value announced ~default:false in
+          let inner = ba.Basim.Engine.init env ~rng ~n ~me ~input:ba_input in
+          let inner', sends =
+            ba.Basim.Engine.step env inner ~round:0 ~inbox:(unwrap_inbox inbox)
+          in
+          (Running inner', wrap_sends sends)
+        end
+    | Running inner ->
+        let inner', sends =
+          ba.Basim.Engine.step env inner ~round:(round - 1)
+            ~inbox:(unwrap_inbox inbox)
+        in
+        (Running inner', wrap_sends sends)
+  in
+  { Basim.Engine.proto_name = "broadcast<" ^ ba.Basim.Engine.proto_name ^ ">";
+    make_env = ba.Basim.Engine.make_env;
+    init;
+    step;
+    output =
+      (fun s ->
+        match s with
+        | Announcing _ -> None
+        | Running inner -> ba.Basim.Engine.output inner);
+    halted =
+      (fun s ->
+        match s with
+        | Announcing _ -> false
+        | Running inner -> ba.Basim.Engine.halted inner);
+    msg_bits =
+      (fun env m ->
+        match m with
+        | Input _ -> 8
+        | Inner im -> ba.Basim.Engine.msg_bits env im) }

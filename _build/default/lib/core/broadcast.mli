@@ -1,0 +1,26 @@
+(** Byzantine Broadcast from Byzantine Agreement — the communication-
+    preserving reduction of §1.1: the designated sender multicasts its
+    input bit to everyone, then all nodes run the BA instance on the bit
+    they received (a default bit if the sender stayed silent).
+
+    If the underlying BA is communication-efficient, so is the resulting
+    broadcast: the reduction adds exactly one multicast of one bit. The
+    paper states its upper bounds for BA and its lower bounds for
+    broadcast; this wrapper is what links the two in our experiments. *)
+
+type 'm msg =
+  | Input of bool   (** the sender's round-0 announcement *)
+  | Inner of 'm     (** a message of the underlying BA *)
+
+type 's state
+
+val of_ba :
+  ('e, 's, 'm) Basim.Engine.protocol ->
+  sender:int ->
+  ('e, 's state, 'm msg) Basim.Engine.protocol
+(** [of_ba ba ~sender] is the broadcast protocol: round 0 is the sender's
+    announcement; from round 1 on, the wrapped BA runs (shifted by one
+    round) on inputs equal to the announced bit, defaulting to [false]
+    for nodes that heard nothing. The engine's [inputs] array is read
+    only at index [sender]. If a corrupt sender equivocates (targeted
+    announcements), BA consistency still forces a unanimous output. *)

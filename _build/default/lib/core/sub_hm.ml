@@ -1,0 +1,398 @@
+open Bafmine
+
+type elig_cert = Eligibility.credential Cert.t
+
+type proposal = {
+  p_iter : int;
+  p_bit : bool;
+  p_cert : elig_cert option;
+  p_node : int;
+  p_cred : Eligibility.credential;
+}
+
+type msg =
+  | Status of {
+      iter : int;
+      bit : bool;
+      cert : elig_cert option;
+      cred : Eligibility.credential;
+    }
+  | Propose of proposal
+  | Vote of {
+      iter : int;
+      bit : bool;
+      proposal : proposal option;
+      cred : Eligibility.credential;
+    }
+  | Commit of {
+      iter : int;
+      bit : bool;
+      cert : elig_cert;
+      cred : Eligibility.credential;
+    }
+  | Terminate of {
+      iter : int;
+      bit : bool;
+      commits : (int * Eligibility.credential) list;
+      cred : Eligibility.credential;
+    }
+
+type env = {
+  n : int;
+  params : Params.t;
+  elig : Eligibility.t;
+  pki : Bacrypto.Pki.t option;
+  fmine : Fmine.t option;
+  cert_cache : (elig_cert, unit) Hashtbl.t;
+      (* positive verification results, shared across receivers: sound
+         because Fmine coins are memoized and VRF verification is
+         deterministic, so a certificate that verified once verifies
+         forever *)
+  proposal_cache : (proposal, unit) Hashtbl.t;  (* same, for proposals *)
+}
+
+module Iset = Set.Make (Int)
+
+let phase_of_round = Quadratic_hm.phase_of_round
+
+let bit_int b = if b then 1 else 0
+
+let mining_string kind ~iter ~bit =
+  let tag =
+    match kind with
+    | `Status -> "shm:Status"
+    | `Propose -> "shm:Propose"
+    | `Vote -> "shm:Vote"
+    | `Commit -> "shm:Commit"
+  in
+  Printf.sprintf "%s:%d:%d" tag iter (bit_int bit)
+
+let terminate_mining_string ~bit = Printf.sprintf "shm:Terminate:%d" (bit_int bit)
+
+let committee_probability env = Params.ack_probability env.params ~n:env.n
+
+let propose_probability env = Params.propose_probability ~n:env.n
+
+let quorum env = Params.hm_quorum env.params
+
+let verify_ticket env ~node ~msg ~p cred =
+  env.elig.Eligibility.verify ~node ~msg ~p cred
+
+(* Certificate validity: λ/2 distinct verifying vote credentials.  Positive
+   results are cached in the env — every receiver checks the same
+   certificate value, and validity is monotone. *)
+let valid_cert env (cert : elig_cert) =
+  Hashtbl.mem env.cert_cache cert
+  ||
+  let ok =
+    Cert.well_formed cert ~quorum:(quorum env) ~check:(fun ~node cred ->
+        verify_ticket env ~node
+          ~msg:(mining_string `Vote ~iter:cert.Cert.iter ~bit:cert.Cert.bit)
+          ~p:(committee_probability env) cred)
+  in
+  if ok then Hashtbl.replace env.cert_cache cert ();
+  ok
+
+let valid_cert_opt env = function None -> true | Some c -> valid_cert env c
+
+let valid_proposal env ~iter (p : proposal) =
+  p.p_iter = iter
+  && (Hashtbl.mem env.proposal_cache p
+     ||
+     let ok =
+       verify_ticket env ~node:p.p_node
+         ~msg:(mining_string `Propose ~iter ~bit:p.p_bit)
+         ~p:(propose_probability env) p.p_cred
+       && valid_cert_opt env p.p_cert
+       && (match p.p_cert with
+          | None -> true
+          | Some c -> c.Cert.bit = p.p_bit && c.Cert.iter < iter)
+     in
+     if ok then Hashtbl.replace env.proposal_cache p ();
+     ok)
+
+let valid_vote env ~sender ~iter ~bit ~proposal ~cred =
+  verify_ticket env ~node:sender
+    ~msg:(mining_string `Vote ~iter ~bit)
+    ~p:(committee_probability env) cred
+  && (if iter = 1 then true
+      else
+        match proposal with
+        | None -> false
+        | Some p -> valid_proposal env ~iter p && p.p_bit = bit)
+
+let valid_commit env ~sender ~iter ~bit ~cert ~cred =
+  verify_ticket env ~node:sender
+    ~msg:(mining_string `Commit ~iter ~bit)
+    ~p:(committee_probability env) cred
+  && valid_cert env cert
+  && cert.Cert.iter = iter && cert.Cert.bit = bit
+
+let valid_terminate env ~sender ~iter ~bit ~commits ~cred =
+  verify_ticket env ~node:sender ~msg:(terminate_mining_string ~bit)
+    ~p:(committee_probability env) cred
+  &&
+  let distinct =
+    List.fold_left
+      (fun seen (node, ccred) ->
+        if Iset.mem node seen then seen
+        else if
+          verify_ticket env ~node
+            ~msg:(mining_string `Commit ~iter ~bit)
+            ~p:(committee_probability env) ccred
+        then Iset.add node seen
+        else seen)
+      Iset.empty commits
+  in
+  Iset.cardinal distinct >= quorum env
+
+let make_vote ~iter ~bit ~proposal ~cred = Vote { iter; bit; proposal; cred }
+
+let make_propose ~iter ~bit ~cert ~node ~cred =
+  Propose { p_iter = iter; p_bit = bit; p_cert = cert; p_node = node; p_cred = cred }
+
+type state = {
+  me : int;
+  input : bool;
+  rng : Bacrypto.Rng.t;
+  mutable best0 : elig_cert option;
+  mutable best1 : elig_cert option;
+  votes : (int * bool, (int * Eligibility.credential) list) Hashtbl.t;
+  commits : (int * bool, (int * Eligibility.credential) list) Hashtbl.t;
+  mutable proposals : proposal list;
+  mutable pending : (int * bool * (int * Eligibility.credential) list) option;
+  mutable out : bool option;
+  mutable stopped : bool;
+}
+
+let best_for state bit = if bit then state.best1 else state.best0
+
+let set_best state bit c = if bit then state.best1 <- c else state.best0 <- c
+
+let absorb_cert state = function
+  | None -> ()
+  | Some c ->
+      if Cert.strictly_higher (Some c) ~than:(best_for state c.Cert.bit) then
+        set_best state c.Cert.bit (Some c)
+
+let overall_best state =
+  if Cert.strictly_higher state.best1 ~than:state.best0 then state.best1
+  else state.best0
+
+let add_endorsement table key entry =
+  let existing = Option.value (Hashtbl.find_opt table key) ~default:[] in
+  if List.mem_assoc (fst entry) existing then ()
+  else Hashtbl.replace table key (entry :: existing)
+
+let absorb env state ~iter_of_round ~sender msg =
+  match msg with
+  | Status { cert; _ } -> if valid_cert_opt env cert then absorb_cert state cert
+  | Propose p ->
+      if valid_proposal env ~iter:iter_of_round p then
+        state.proposals <- p :: state.proposals;
+      if valid_cert_opt env p.p_cert then absorb_cert state p.p_cert
+  | Vote { iter; bit; proposal; cred } ->
+      if valid_vote env ~sender ~iter ~bit ~proposal ~cred then begin
+        add_endorsement state.votes (iter, bit) (sender, cred);
+        (* build the certificate once, when the quorum is first reached *)
+        let endorsements = Hashtbl.find state.votes (iter, bit) in
+        if List.length endorsements = Params.hm_quorum env.params then
+          absorb_cert state (Some (Cert.make ~iter ~bit ~endorsements))
+      end
+  | Commit { iter; bit; cert; cred } ->
+      if valid_commit env ~sender ~iter ~bit ~cert ~cred then begin
+        add_endorsement state.commits (iter, bit) (sender, cred);
+        absorb_cert state (Some cert);
+        let endorsements = Hashtbl.find state.commits (iter, bit) in
+        if List.length endorsements >= Params.hm_quorum env.params
+           && state.pending = None
+        then state.pending <- Some (iter, bit, endorsements)
+      end
+  | Terminate { iter; bit; commits; cred } ->
+      if valid_terminate env ~sender ~iter ~bit ~commits ~cred
+         && state.pending = None
+      then state.pending <- Some (iter, bit, commits)
+
+(* Conditional multicast: mine the ticket; emit the message on success. *)
+let conditionally env state ~kind ~iter ~bit ~build =
+  let msg_str, p =
+    match kind with
+    | `Propose -> (mining_string `Propose ~iter ~bit, propose_probability env)
+    | `Terminate -> (terminate_mining_string ~bit, committee_probability env)
+    | (`Status | `Vote | `Commit) as k ->
+        (mining_string k ~iter ~bit, committee_probability env)
+  in
+  match env.elig.Eligibility.mine ~node:state.me ~msg:msg_str ~p with
+  | Some cred -> [ Basim.Engine.multicast (build cred) ]
+  | None -> []
+
+let protocol ~params ~world =
+  let make_env ~n rng =
+    match world with
+    | `Hybrid ->
+        let fmine = Fmine.create rng in
+        { n;
+          params;
+          elig = Eligibility.hybrid fmine;
+          pki = None;
+          fmine = Some fmine;
+          cert_cache = Hashtbl.create 256;
+          proposal_cache = Hashtbl.create 64 }
+    | `Real ->
+        let pki = Bacrypto.Pki.setup ~n rng in
+        { n;
+          params;
+          elig = Compiler.real_world pki;
+          pki = Some pki;
+          fmine = None;
+          cert_cache = Hashtbl.create 256;
+          proposal_cache = Hashtbl.create 64 }
+  in
+  let init _env ~rng ~n:_ ~me ~input =
+    { me;
+      input;
+      rng;
+      best0 = None;
+      best1 = None;
+      votes = Hashtbl.create 64;
+      commits = Hashtbl.create 64;
+      proposals = [];
+      pending = None;
+      out = None;
+      stopped = false }
+  in
+  let step env state ~round ~inbox =
+    let phase = phase_of_round round in
+    let iter =
+      match phase with
+      | Quadratic_hm.Phase_status i | Quadratic_hm.Phase_propose i
+      | Quadratic_hm.Phase_vote i | Quadratic_hm.Phase_commit i ->
+          i
+    in
+    (match phase with
+    | Quadratic_hm.Phase_status _ -> state.proposals <- []
+    | Quadratic_hm.Phase_propose _ | Quadratic_hm.Phase_vote _
+    | Quadratic_hm.Phase_commit _ ->
+        ());
+    List.iter
+      (fun (sender, m) -> absorb env state ~iter_of_round:iter ~sender m)
+      inbox;
+    match state.pending with
+    | Some (t_iter, bit, commits) ->
+        state.out <- Some bit;
+        state.stopped <- true;
+        let sends =
+          conditionally env state ~kind:`Terminate ~iter:t_iter ~bit
+            ~build:(fun cred -> Terminate { iter = t_iter; bit; commits; cred })
+        in
+        (state, sends)
+    | None ->
+        if iter > env.params.Params.max_epochs then begin
+          state.stopped <- true;
+          (state, [])
+        end
+        else begin
+          let sends =
+            match phase with
+            | Quadratic_hm.Phase_status _ ->
+                let best = overall_best state in
+                let bit =
+                  match best with Some c -> c.Cert.bit | None -> state.input
+                in
+                conditionally env state ~kind:`Status ~iter ~bit
+                  ~build:(fun cred -> Status { iter; bit; cert = best; cred })
+            | Quadratic_hm.Phase_propose _ ->
+                (* One propose mining attempt per iteration, for the bit
+                   carrying the node's highest certificate (coin on tie). *)
+                let r0 = Cert.rank state.best0 and r1 = Cert.rank state.best1 in
+                let bit =
+                  if r0 > r1 then false
+                  else if r1 > r0 then true
+                  else Bacrypto.Rng.bool state.rng
+                in
+                conditionally env state ~kind:`Propose ~iter ~bit
+                  ~build:(fun cred ->
+                    make_propose ~iter ~bit ~cert:(best_for state bit)
+                      ~node:state.me ~cred)
+            | Quadratic_hm.Phase_vote _ ->
+                if iter = 1 then
+                  conditionally env state ~kind:`Vote ~iter ~bit:state.input
+                    ~build:(fun cred ->
+                      make_vote ~iter ~bit:state.input ~proposal:None ~cred)
+                else begin
+                  let bits =
+                    List.sort_uniq compare
+                      (List.filter_map
+                         (fun p -> if p.p_iter = iter then Some p.p_bit else None)
+                         state.proposals)
+                  in
+                  match bits with
+                  | [ b ] ->
+                      let p =
+                        List.find (fun p -> p.p_iter = iter && p.p_bit = b)
+                          state.proposals
+                      in
+                      if Cert.rank (best_for state (not b)) <= Cert.rank p.p_cert
+                      then
+                        conditionally env state ~kind:`Vote ~iter ~bit:b
+                          ~build:(fun cred ->
+                            make_vote ~iter ~bit:b ~proposal:(Some p) ~cred)
+                      else []
+                  | [] | _ :: _ :: _ -> []
+                end
+            | Quadratic_hm.Phase_commit _ ->
+                let votes_for b =
+                  Option.value (Hashtbl.find_opt state.votes (iter, b)) ~default:[]
+                in
+                let v0 = votes_for false and v1 = votes_for true in
+                let try_commit b vs opposite =
+                  if List.length vs >= quorum env && opposite = [] then
+                    (* a certificate is exactly λ/2 votes; don't ship more *)
+                    let vs = List.filteri (fun i _ -> i < quorum env) vs in
+                    let cert = Cert.make ~iter ~bit:b ~endorsements:vs in
+                    Some
+                      (conditionally env state ~kind:`Commit ~iter ~bit:b
+                         ~build:(fun cred -> Commit { iter; bit = b; cert; cred }))
+                  else None
+                in
+                (match try_commit false v0 v1 with
+                | Some sends -> sends
+                | None -> (
+                    match try_commit true v1 v0 with
+                    | Some sends -> sends
+                    | None -> []))
+          in
+          (state, sends)
+        end
+  in
+  let cred_bits env c = env.elig.Eligibility.credential_bits c in
+  let cert_bits env c =
+    Cert.size_bits c ~endorsement_bits:(fun cr -> cred_bits env cr)
+  in
+  let proposal_bits env = function
+    | None -> 8
+    | Some p -> 48 + 32 + cred_bits env p.p_cred + cert_bits env p.p_cert
+  in
+  let msg_bits env = function
+    | Status { cert; cred; _ } -> 48 + cred_bits env cred + cert_bits env cert
+    | Propose p -> 48 + 32 + cred_bits env p.p_cred + cert_bits env p.p_cert
+    | Vote { proposal; cred; _ } ->
+        48 + cred_bits env cred + proposal_bits env proposal
+    | Commit { cert; cred; _ } ->
+        48 + cred_bits env cred + cert_bits env (Some cert)
+    | Terminate { commits; cred; _ } ->
+        48 + cred_bits env cred
+        + List.fold_left
+            (fun acc (_, c) -> acc + 32 + cred_bits env c)
+            0 commits
+  in
+  { Basim.Engine.proto_name =
+      (match world with `Hybrid -> "sub-hm" | `Real -> "sub-hm-real");
+    make_env;
+    init;
+    step;
+    output = (fun s -> s.out);
+    halted = (fun s -> s.stopped);
+    msg_bits }
+
+let best_certificate state = overall_best state

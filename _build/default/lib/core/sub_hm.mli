@@ -1,0 +1,125 @@
+(** The paper's flagship protocol (Theorem 2, Appendix C.2): synchronous
+    BA with {e polylogarithmic multicast complexity}, resilience
+    [f < (1/2 − ε)n], and expected constant rounds — assuming only a PKI
+    and standard cryptography, against an adaptive adversary that cannot
+    perform after-the-fact removal.
+
+    It is the {!Quadratic_hm} protocol of Appendix C.1 transformed by
+    {e vote-specific eligibility}:
+
+    - every multicast becomes a {b conditional} multicast: the node mines
+      an eligibility ticket for the exact (type, iteration, bit) triple it
+      wants to send, with probability [λ/n]
+      (Status/Vote/Commit/Terminate) or [1/(2n)] (Propose), and only
+      speaks on success, attaching the credential;
+    - every [f+1] threshold becomes [λ/2];
+    - the leader-election oracle disappears: whoever mines a Propose
+      ticket is a proposer (several proposers in an iteration are treated
+      like a corrupt proposer — nodes simply don't vote; a fresh
+      iteration follows).
+
+    Because eligibility is {e bit-specific}, corrupting a node that just
+    voted [b] gives the adversary no advantage toward votes for [1−b]
+    (§3.2's key insight), and because votes carry the proposal that
+    justified them, corrupt nodes cannot vote without a proposer either.
+
+    Stochastic guarantees reproduced in experiment E7: per-message
+    committees concentrate around [λ] (Lemma 11); a unique-honest-
+    proposer iteration occurs with probability [> 1/(2e)] per iteration
+    (Lemma 12); once [εn/2] honest nodes terminate, everyone terminates
+    the next round (Lemma 10). Lemma 15: [O(λ²)] multicasts of
+    [O((log κ + log n)·λ)] bits each. *)
+
+type elig_cert = Bafmine.Eligibility.credential Cert.t
+(** A certificate: [λ/2] vote credentials from distinct nodes. *)
+
+type proposal = {
+  p_iter : int;
+  p_bit : bool;
+  p_cert : elig_cert option;
+  p_node : int;                              (** the proposer *)
+  p_cred : Bafmine.Eligibility.credential;   (** its Propose ticket *)
+}
+
+type msg =
+  | Status of {
+      iter : int;
+      bit : bool;
+      cert : elig_cert option;
+      cred : Bafmine.Eligibility.credential;
+    }
+  | Propose of proposal
+  | Vote of {
+      iter : int;
+      bit : bool;
+      proposal : proposal option;  (** [None] only in iteration 1 *)
+      cred : Bafmine.Eligibility.credential;
+    }
+  | Commit of {
+      iter : int;
+      bit : bool;
+      cert : elig_cert;
+      cred : Bafmine.Eligibility.credential;
+    }
+  | Terminate of {
+      iter : int;
+      bit : bool;
+      commits : (int * Bafmine.Eligibility.credential) list;
+      cred : Bafmine.Eligibility.credential;
+    }
+
+type env = {
+  n : int;
+  params : Params.t;
+  elig : Bafmine.Eligibility.t;
+  pki : Bacrypto.Pki.t option;  (** [Some] in the real world *)
+  fmine : Bafmine.Fmine.t option;
+      (** [Some] in the hybrid world — inspectable mining statistics *)
+  cert_cache : (elig_cert, unit) Hashtbl.t;
+      (** cache of positively verified certificates (sound: verification
+          is deterministic and monotone; purely a simulation speedup) *)
+  proposal_cache : (proposal, unit) Hashtbl.t;
+      (** same, for proposals *)
+}
+
+type state
+
+val protocol :
+  params:Params.t ->
+  world:[ `Hybrid | `Real ] ->
+  (env, state, msg) Basim.Engine.protocol
+(** The protocol record. Uses [params.max_epochs] as the iteration cap;
+    a node reaching the cap undecided halts without output. *)
+
+val phase_of_round : int -> Quadratic_hm.phase
+(** Same round layout as the quadratic protocol. *)
+
+val mining_string : [ `Status | `Propose | `Vote | `Commit ] -> iter:int -> bit:bool -> string
+(** The string mined for each conditional multicast (bit-specific). *)
+
+val terminate_mining_string : bit:bool -> string
+(** Terminate tickets are per-bit, not per-iteration. *)
+
+val committee_probability : env -> float
+(** [λ/n] — Status/Vote/Commit/Terminate difficulty. *)
+
+val propose_probability : env -> float
+(** [1/(2n)] — Propose difficulty. *)
+
+val quorum : env -> int
+(** [⌈λ/2⌉]. *)
+
+val make_vote :
+  iter:int -> bit:bool -> proposal:proposal option ->
+  cred:Bafmine.Eligibility.credential -> msg
+(** Assemble a vote — used by adversaries for corrupt nodes. *)
+
+val make_propose :
+  iter:int -> bit:bool -> cert:elig_cert option -> node:int ->
+  cred:Bafmine.Eligibility.credential -> msg
+
+val valid_cert : env -> elig_cert -> bool
+(** [λ/2] distinct verifying vote credentials. *)
+
+val best_certificate : state -> elig_cert option
+(** Inspectable for tests. *)

@@ -1,0 +1,1 @@
+lib/crypto/commitment.ml: Char Int64 Rng Sha256 String

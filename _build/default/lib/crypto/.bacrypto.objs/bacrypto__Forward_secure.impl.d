@@ -1,0 +1,1 @@
+lib/crypto/forward_secure.ml: Array Hmac Prf

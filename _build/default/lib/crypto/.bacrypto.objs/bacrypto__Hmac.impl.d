@@ -1,0 +1,1 @@
+lib/crypto/hmac.ml: Bytes Char List Sha256 String

@@ -1,0 +1,1 @@
+lib/crypto/nizk.ml: Char Commitment Hmac Int64 Prf Rng Sha256 String

@@ -1,0 +1,1 @@
+lib/crypto/nizk.mli: Commitment Prf Rng

@@ -1,0 +1,1 @@
+lib/crypto/pki.ml: Array Commitment Nizk Signature Vrf

@@ -1,0 +1,1 @@
+lib/crypto/prf.ml: Char Hmac Int64 Rng String

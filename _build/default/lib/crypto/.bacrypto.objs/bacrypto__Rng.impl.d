@@ -1,0 +1,1 @@
+lib/crypto/rng.ml: Array Char Int Int64 Set Sha256 String

@@ -1,0 +1,1 @@
+lib/crypto/selective_opening.ml: Array Char Hashtbl Int64 Prf Rng String

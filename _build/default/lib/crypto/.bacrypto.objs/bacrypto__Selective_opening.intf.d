@@ -1,0 +1,1 @@
+lib/crypto/selective_opening.mli: Prf Rng

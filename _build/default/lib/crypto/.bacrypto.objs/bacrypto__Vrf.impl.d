@@ -1,0 +1,1 @@
+lib/crypto/vrf.ml: Commitment Nizk Prf String

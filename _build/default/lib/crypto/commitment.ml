@@ -1,0 +1,19 @@
+type crs = { tag : string }
+
+type t = string
+
+let gen rng =
+  { tag =
+      String.init 32 (fun _ ->
+          Char.chr (Int64.to_int (Int64.logand (Rng.next_int64 rng) 0xffL))) }
+
+let crs_to_string crs = crs.tag
+
+let commit crs ~value ~salt =
+  Sha256.digest_concat [ "commit"; crs.tag; value; salt ]
+
+let verify crs c ~value ~salt = String.equal c (commit crs ~value ~salt)
+
+let fresh_salt rng =
+  String.init 32 (fun _ ->
+      Char.chr (Int64.to_int (Int64.logand (Rng.next_int64 rng) 0xffL)))

@@ -1,0 +1,31 @@
+(** Non-interactive commitment scheme (Appendix D.2), instantiated with
+    SHA-256.
+
+    The paper requires a commitment that is perfectly binding and
+    computationally hiding under selective opening (Theorem 18 instantiates
+    it from bilinear groups). We substitute a hash commitment
+    [com = H(crs, value, salt)]: binding up to collisions, hiding up to
+    preimages — the same interface and the same role in the PKI (each
+    node's public key is a commitment to its PRF secret key). See DESIGN.md
+    §3 for why this substitution preserves the experiments' behaviour. *)
+
+type crs
+(** Common reference string for the scheme. *)
+
+type t = string
+(** A commitment (32 raw bytes). *)
+
+val gen : Rng.t -> crs
+(** [gen rng] samples a CRS. *)
+
+val crs_to_string : crs -> string
+(** Serialized CRS, for inclusion in statements and transcripts. *)
+
+val commit : crs -> value:string -> salt:string -> t
+(** [commit crs ~value ~salt] commits to [value] under randomness [salt]. *)
+
+val verify : crs -> t -> value:string -> salt:string -> bool
+(** [verify crs c ~value ~salt] checks the opening [(value, salt)]. *)
+
+val fresh_salt : Rng.t -> string
+(** 32 bytes of commitment randomness. *)

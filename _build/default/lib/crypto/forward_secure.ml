@@ -1,0 +1,52 @@
+type scheme = {
+  masters : string array;
+  current : int array;  (* lowest signable slot per node *)
+}
+
+type tag = string
+
+type capability = Master | From_slot of int
+
+let setup ~n rng =
+  { masters = Array.init n (fun _ -> Prf.gen rng); current = Array.make n 0 }
+
+let check_range scheme i =
+  if i < 0 || i >= Array.length scheme.masters then
+    invalid_arg "Forward_secure: signer out of range"
+
+let current_slot scheme i =
+  check_range scheme i;
+  scheme.current.(i)
+
+let slot_key scheme ~signer ~slot =
+  Hmac.mac_concat ~key:scheme.masters.(signer) [ "fs-slot"; string_of_int slot ]
+
+let raw_sign scheme ~signer ~slot msg =
+  Hmac.mac_concat ~key:(slot_key scheme ~signer ~slot) [ "fs-sig"; msg ]
+
+let sign scheme ~signer ~slot msg =
+  check_range scheme signer;
+  if slot < 0 then invalid_arg "Forward_secure.sign: negative slot";
+  if slot < scheme.current.(signer) then
+    invalid_arg "Forward_secure.sign: slot key erased";
+  raw_sign scheme ~signer ~slot msg
+
+let update scheme ~signer ~slot =
+  check_range scheme signer;
+  if slot > scheme.current.(signer) then scheme.current.(signer) <- slot
+
+let verify scheme ~signer ~slot msg tag =
+  check_range scheme signer;
+  Hmac.equal tag (raw_sign scheme ~signer ~slot msg)
+
+let corrupt scheme ~erasure i =
+  check_range scheme i;
+  if erasure then From_slot scheme.current.(i) else Master
+
+let adversary_sign scheme ~capability ~signer ~slot msg =
+  check_range scheme signer;
+  if slot < 0 then None
+  else
+    match capability with
+    | Master -> Some (raw_sign scheme ~signer ~slot msg)
+    | From_slot from -> if slot >= from then Some (raw_sign scheme ~signer ~slot msg) else None

@@ -1,0 +1,62 @@
+(** Forward-secure signatures with explicit key erasure — the "ephemeral
+    keys" of Chen–Micali (the paper's §3.2 discussion, footnote 5).
+
+    In a forward-secure scheme a node starts with a key that signs any
+    slot [t ≥ 0]; after signing at slot [t] it can {e update} its key to
+    one that signs only slots [> t], erasing the old one. In the
+    {b memory-erasure model} the adversary that corrupts a node obtains
+    only the current (updated) key, so it cannot sign for past slots —
+    this is what lets Chen–Micali survive the §3.3 equivocation attack
+    {e without} bit-specific eligibility. Dropping the erasure assumption
+    hands the adversary the master key, and the attack goes through;
+    experiment E5b measures exactly this difference.
+
+    Like {!Signature}, this is an idealized functionality: a trusted
+    scheme value holds one master key per node, slot keys are derived by
+    PRF, and verification recomputes tags. The erasure state (each node's
+    lowest signable slot) is enforced by the functionality: honest code
+    cannot sign below it, and {!corrupt} reveals either the post-erasure
+    capability or the master key depending on the model. *)
+
+type scheme
+
+type tag = string
+
+val setup : n:int -> Rng.t -> scheme
+(** Keys for nodes [0 … n-1], all starting at slot 0. *)
+
+val current_slot : scheme -> int -> int
+(** Lowest slot node [i] can still sign. *)
+
+val sign : scheme -> signer:int -> slot:int -> string -> tag
+(** Sign [msg] for [slot] with [signer]'s slot key.
+    @raise Invalid_argument if the slot key has been erased
+    ([slot < current_slot]) or the signer is out of range. *)
+
+val update : scheme -> signer:int -> slot:int -> unit
+(** Erase all of [signer]'s slot keys below [slot] (monotone: updating
+    backwards is a no-op). Honest nodes call this immediately after
+    signing — atomically with the send, before the adversary can act. *)
+
+val verify : scheme -> signer:int -> slot:int -> string -> tag -> bool
+(** Check a slot signature. *)
+
+(** What corruption reveals. *)
+type capability =
+  | Master
+      (** the non-erasure model: everything, all slots forever *)
+  | From_slot of int
+      (** the memory-erasure model: only slots the node had not yet
+          erased at corruption time *)
+
+val corrupt : scheme -> erasure:bool -> int -> capability
+(** [corrupt scheme ~erasure i] is the adversary's haul when it corrupts
+    node [i]: [Master] if the model has no erasure, otherwise
+    [From_slot (current_slot i)]. *)
+
+val adversary_sign :
+  scheme -> capability:capability -> signer:int -> slot:int -> string ->
+  tag option
+(** Sign on behalf of a corrupted node, if the stolen capability covers
+    the slot; [None] when the needed slot key was erased before the
+    corruption. *)

@@ -1,0 +1,48 @@
+let block_size = 64
+
+let pad_key key =
+  let key =
+    if String.length key > block_size then Sha256.digest_string key else key
+  in
+  let padded = Bytes.make block_size '\x00' in
+  Bytes.blit_string key 0 padded 0 (String.length key);
+  padded
+
+let xor_pad padded byte =
+  String.init block_size (fun i ->
+      Char.chr (Char.code (Bytes.get padded i) lxor byte))
+
+let with_pads ~key inner_feed =
+  let padded = pad_key key in
+  let ipad = xor_pad padded 0x36 and opad = xor_pad padded 0x5c in
+  let inner = Sha256.init () in
+  Sha256.feed_string inner ipad;
+  inner_feed inner;
+  let inner_digest = Sha256.finalize inner in
+  let outer = Sha256.init () in
+  Sha256.feed_string outer opad;
+  Sha256.feed_string outer inner_digest;
+  Sha256.finalize outer
+
+let mac ~key msg = with_pads ~key (fun ctx -> Sha256.feed_string ctx msg)
+
+let mac_concat ~key parts =
+  (* Reuse the injective encoding of Sha256.digest_concat: 8-byte big-endian
+     length prefix before each part. *)
+  let encode part =
+    let n = String.length part in
+    let prefix =
+      String.init 8 (fun i -> Char.chr ((n lsr (8 * (7 - i))) land 0xff))
+    in
+    prefix ^ part
+  in
+  with_pads ~key (fun ctx ->
+      List.iter (fun part -> Sha256.feed_string ctx (encode part)) parts)
+
+let equal a b =
+  if String.length a <> String.length b then false
+  else begin
+    let diff = ref 0 in
+    String.iteri (fun i c -> diff := !diff lor (Char.code c lxor Char.code b.[i])) a;
+    !diff = 0
+  end

@@ -1,0 +1,19 @@
+(** HMAC-SHA256 (RFC 2104 / FIPS 198-1).
+
+    The message-authentication code used as the PRF of the paper's
+    Appendix-D compiler and as the tag algorithm of the idealized signature
+    functionality. Validated against the RFC 4231 test vectors in the test
+    suite. *)
+
+val mac : key:string -> string -> string
+(** [mac ~key msg] is the 32-byte HMAC-SHA256 tag of [msg] under [key].
+    Keys longer than the 64-byte block are hashed first, shorter keys are
+    zero-padded, per the standard. *)
+
+val mac_concat : key:string -> string list -> string
+(** [mac_concat ~key parts] tags the injective length-prefixed encoding of
+    [parts] (same encoding as {!Sha256.digest_concat}). *)
+
+val equal : string -> string -> bool
+(** Constant-time comparison of two equal-length tags; [false] on length
+    mismatch. *)

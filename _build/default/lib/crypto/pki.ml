@@ -1,0 +1,41 @@
+type t = {
+  count : int;
+  vrf_params : Vrf.params;
+  sks : Vrf.sk array;
+  pks : Vrf.pk array;
+  sigs : Signature.scheme;
+}
+
+type corrupted_state = { vrf_sk : Vrf.sk; sig_key : string }
+
+let setup ~n rng =
+  let vrf_params =
+    { Vrf.crs_comm = Commitment.gen rng; crs_nizk = Nizk.gen rng }
+  in
+  let pairs = Array.init n (fun index -> Vrf.keygen vrf_params rng ~index) in
+  { count = n;
+    vrf_params;
+    sks = Array.map fst pairs;
+    pks = Array.map snd pairs;
+    sigs = Signature.setup ~n rng }
+
+let n t = t.count
+
+let params t = t.vrf_params
+
+let check_range t i =
+  if i < 0 || i >= t.count then invalid_arg "Pki: node index out of range"
+
+let public_key t i =
+  check_range t i;
+  t.pks.(i)
+
+let secret_key t i =
+  check_range t i;
+  t.sks.(i)
+
+let signatures t = t.sigs
+
+let corrupt t i =
+  check_range t i;
+  { vrf_sk = t.sks.(i); sig_key = Signature.corrupt_key t.sigs i }

@@ -1,0 +1,40 @@
+(** Trusted public-key-infrastructure setup (the setup phase of §3.2 and
+    Appendix D.4).
+
+    A single trusted run generates: the commitment CRS, the NIZK CRS, a
+    VRF key pair per node (public key = commitment to the node's PRF key),
+    and the idealized signature functionality. Public information — the
+    CRSs and all public keys — is available to everyone including the
+    adversary; each node's secret key is private until the node is
+    corrupted, at which point {!corrupt} hands the full secret state to the
+    adversary (modeling the selective-opening games of Appendix E). *)
+
+type t
+
+val setup : n:int -> Rng.t -> t
+(** [setup ~n rng] runs trusted setup for [n] nodes. *)
+
+val n : t -> int
+(** Number of enrolled nodes. *)
+
+val params : t -> Vrf.params
+(** The public CRSs. *)
+
+val public_key : t -> int -> Vrf.pk
+(** [public_key t i] is node [i]'s VRF public key. *)
+
+val secret_key : t -> int -> Vrf.sk
+(** [secret_key t i] is node [i]'s VRF secret key. Honest-node code only;
+    adversaries obtain it via {!corrupt}. *)
+
+val signatures : t -> Signature.scheme
+(** The idealized signature functionality for this execution. *)
+
+type corrupted_state = {
+  vrf_sk : Vrf.sk;
+  sig_key : string;
+}
+(** Everything the adversary learns when it corrupts a node. *)
+
+val corrupt : t -> int -> corrupted_state
+(** [corrupt t i] is node [i]'s full secret state. *)

@@ -1,0 +1,17 @@
+type key = string
+
+let gen rng =
+  String.init 32 (fun _ -> Char.chr (Int64.to_int (Int64.logand (Rng.next_int64 rng) 0xffL)))
+
+let eval key msg = Hmac.mac ~key msg
+
+let output_fraction rho =
+  (* Interpret the first 53 bits as a binary fraction. *)
+  let bits = ref 0L in
+  for i = 0 to 6 do
+    bits := Int64.logor (Int64.shift_left !bits 8) (Int64.of_int (Char.code rho.[i]))
+  done;
+  let top53 = Int64.shift_right_logical !bits 3 in
+  Int64.to_float top53 *. (1.0 /. 9007199254740992.0)
+
+let below_difficulty rho ~p = output_fraction rho < p

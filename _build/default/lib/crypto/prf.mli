@@ -1,0 +1,27 @@
+(** Pseudo-random function family, instantiated as HMAC-SHA256.
+
+    This is the PRF of the paper's Appendix-D construction: node [i] holds a
+    secret key [sk_i]; the mining attempt for a message [m] evaluates
+    [rho = PRF_{sk_i}(m)] and succeeds iff [rho] falls below a difficulty
+    threshold. {!output_fraction} maps the 256-bit output to a uniform
+    fraction in [\[0,1)] so difficulty parameters can be expressed as plain
+    probabilities. *)
+
+type key = string
+(** A PRF secret key (arbitrary bytes). *)
+
+val gen : Rng.t -> key
+(** [gen rng] samples a fresh 32-byte key from [rng]. *)
+
+val eval : key -> string -> string
+(** [eval key msg] is the 32-byte PRF output on [msg]. Deterministic in
+    [(key, msg)]. *)
+
+val output_fraction : string -> float
+(** [output_fraction rho] maps a PRF output to a uniform value in [\[0,1)]
+    (first 53 bits of [rho], big-endian). Used to compare against
+    probability-form difficulty parameters. *)
+
+val below_difficulty : string -> p:float -> bool
+(** [below_difficulty rho ~p] is [true] iff [rho] wins a success-probability
+    [p] lottery, i.e. [output_fraction rho < p]. *)

@@ -1,0 +1,79 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create seed = { state = seed }
+
+let first_8_bytes_as_int64 digest =
+  let v = ref 0L in
+  for i = 0 to 7 do
+    v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (Char.code digest.[i]))
+  done;
+  !v
+
+let of_string label =
+  create (first_8_bytes_as_int64 (Sha256.digest_string label))
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let split t = create (next_int64 t)
+
+let split_named t label =
+  let digest =
+    Sha256.digest_concat [ Int64.to_string t.state; label ]
+  in
+  create (first_8_bytes_as_int64 digest)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Rejection sampling over the low 62 bits to avoid modulo bias. *)
+  let mask = 0x3FFFFFFFFFFFFFFFL in
+  let rec draw () =
+    let v = Int64.to_int (Int64.logand (next_int64 t) mask) in
+    let limit = max_int - (max_int mod bound) in
+    if v >= limit then draw () else v mod bound
+  in
+  draw ()
+
+let float t =
+  (* 53 random bits into [0,1). *)
+  let bits = Int64.shift_right_logical (next_int64 t) 11 in
+  Int64.to_float bits *. (1.0 /. 9007199254740992.0)
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+let bernoulli t p =
+  if p <= 0.0 then false
+  else if p >= 1.0 then true
+  else float t < p
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let choose t a =
+  if Array.length a = 0 then invalid_arg "Rng.choose: empty array";
+  a.(int t (Array.length a))
+
+let sample_without_replacement t k n =
+  if k < 0 || k > n then invalid_arg "Rng.sample_without_replacement";
+  (* Floyd's algorithm: O(k) expected insertions. *)
+  let module Iset = Set.Make (Int) in
+  let chosen = ref Iset.empty in
+  for j = n - k to n - 1 do
+    let candidate = int t (j + 1) in
+    if Iset.mem candidate !chosen then chosen := Iset.add j !chosen
+    else chosen := Iset.add candidate !chosen
+  done;
+  Iset.elements !chosen

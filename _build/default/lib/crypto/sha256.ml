@@ -1,0 +1,165 @@
+let digest_size = 32
+
+let k =
+  [| 0x428a2f98l; 0x71374491l; 0xb5c0fbcfl; 0xe9b5dba5l; 0x3956c25bl;
+     0x59f111f1l; 0x923f82a4l; 0xab1c5ed5l; 0xd807aa98l; 0x12835b01l;
+     0x243185bel; 0x550c7dc3l; 0x72be5d74l; 0x80deb1fel; 0x9bdc06a7l;
+     0xc19bf174l; 0xe49b69c1l; 0xefbe4786l; 0x0fc19dc6l; 0x240ca1ccl;
+     0x2de92c6fl; 0x4a7484aal; 0x5cb0a9dcl; 0x76f988dal; 0x983e5152l;
+     0xa831c66dl; 0xb00327c8l; 0xbf597fc7l; 0xc6e00bf3l; 0xd5a79147l;
+     0x06ca6351l; 0x14292967l; 0x27b70a85l; 0x2e1b2138l; 0x4d2c6dfcl;
+     0x53380d13l; 0x650a7354l; 0x766a0abbl; 0x81c2c92el; 0x92722c85l;
+     0xa2bfe8a1l; 0xa81a664bl; 0xc24b8b70l; 0xc76c51a3l; 0xd192e819l;
+     0xd6990624l; 0xf40e3585l; 0x106aa070l; 0x19a4c116l; 0x1e376c08l;
+     0x2748774cl; 0x34b0bcb5l; 0x391c0cb3l; 0x4ed8aa4al; 0x5b9cca4fl;
+     0x682e6ff3l; 0x748f82eel; 0x78a5636fl; 0x84c87814l; 0x8cc70208l;
+     0x90befffal; 0xa4506cebl; 0xbef9a3f7l; 0xc67178f2l |]
+
+type ctx = {
+  h : int32 array;          (* 8-word chaining state *)
+  block : bytes;            (* 64-byte input buffer *)
+  mutable used : int;       (* bytes currently buffered *)
+  mutable total : int64;    (* total message length in bytes *)
+  w : int32 array;          (* 64-word message schedule, reused *)
+}
+
+let init () =
+  { h =
+      [| 0x6a09e667l; 0xbb67ae85l; 0x3c6ef372l; 0xa54ff53al; 0x510e527fl;
+         0x9b05688cl; 0x1f83d9abl; 0x5be0cd19l |];
+    block = Bytes.create 64;
+    used = 0;
+    total = 0L;
+    w = Array.make 64 0l }
+
+let ( &&& ) = Int32.logand
+let ( ||| ) = Int32.logor
+let ( ^^^ ) = Int32.logxor
+let ( +%  ) = Int32.add
+
+let rotr x n = Int32.shift_right_logical x n ||| Int32.shift_left x (32 - n)
+let shr x n = Int32.shift_right_logical x n
+
+(* Compress the 64-byte block currently in [ctx.block]. *)
+let compress ctx =
+  let b = ctx.block and w = ctx.w and h = ctx.h in
+  for t = 0 to 15 do
+    let i = t * 4 in
+    let byte j = Int32.of_int (Char.code (Bytes.get b (i + j))) in
+    w.(t) <-
+      Int32.shift_left (byte 0) 24
+      ||| Int32.shift_left (byte 1) 16
+      ||| Int32.shift_left (byte 2) 8
+      ||| byte 3
+  done;
+  for t = 16 to 63 do
+    let s0 =
+      rotr w.(t - 15) 7 ^^^ rotr w.(t - 15) 18 ^^^ shr w.(t - 15) 3
+    and s1 =
+      rotr w.(t - 2) 17 ^^^ rotr w.(t - 2) 19 ^^^ shr w.(t - 2) 10
+    in
+    w.(t) <- w.(t - 16) +% s0 +% w.(t - 7) +% s1
+  done;
+  let a = ref h.(0) and b' = ref h.(1) and c = ref h.(2) and d = ref h.(3) in
+  let e = ref h.(4) and f = ref h.(5) and g = ref h.(6) and hh = ref h.(7) in
+  for t = 0 to 63 do
+    let sigma1 = rotr !e 6 ^^^ rotr !e 11 ^^^ rotr !e 25 in
+    let ch = (!e &&& !f) ^^^ (Int32.lognot !e &&& !g) in
+    let t1 = !hh +% sigma1 +% ch +% k.(t) +% w.(t) in
+    let sigma0 = rotr !a 2 ^^^ rotr !a 13 ^^^ rotr !a 22 in
+    let maj = (!a &&& !b') ^^^ (!a &&& !c) ^^^ (!b' &&& !c) in
+    let t2 = sigma0 +% maj in
+    hh := !g;
+    g := !f;
+    f := !e;
+    e := !d +% t1;
+    d := !c;
+    c := !b';
+    b' := !a;
+    a := t1 +% t2
+  done;
+  h.(0) <- h.(0) +% !a;
+  h.(1) <- h.(1) +% !b';
+  h.(2) <- h.(2) +% !c;
+  h.(3) <- h.(3) +% !d;
+  h.(4) <- h.(4) +% !e;
+  h.(5) <- h.(5) +% !f;
+  h.(6) <- h.(6) +% !g;
+  h.(7) <- h.(7) +% !hh
+
+let feed_bytes ctx src ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Bytes.length src then
+    invalid_arg "Sha256.feed_bytes: range out of bounds";
+  ctx.total <- Int64.add ctx.total (Int64.of_int len);
+  let rec loop pos len =
+    if len > 0 then begin
+      let room = 64 - ctx.used in
+      let take = min room len in
+      Bytes.blit src pos ctx.block ctx.used take;
+      ctx.used <- ctx.used + take;
+      if ctx.used = 64 then begin
+        compress ctx;
+        ctx.used <- 0
+      end;
+      loop (pos + take) (len - take)
+    end
+  in
+  loop pos len
+
+let feed_string ctx s =
+  feed_bytes ctx (Bytes.unsafe_of_string s) ~pos:0 ~len:(String.length s)
+
+let finalize ctx =
+  let bit_len = Int64.mul ctx.total 8L in
+  (* Append 0x80, pad with zeros to 56 mod 64, then the 64-bit length. *)
+  Bytes.set ctx.block ctx.used '\x80';
+  ctx.used <- ctx.used + 1;
+  if ctx.used > 56 then begin
+    Bytes.fill ctx.block ctx.used (64 - ctx.used) '\x00';
+    compress ctx;
+    ctx.used <- 0
+  end;
+  Bytes.fill ctx.block ctx.used (56 - ctx.used) '\x00';
+  for i = 0 to 7 do
+    let shift = 8 * (7 - i) in
+    let byte = Int64.to_int (Int64.logand (Int64.shift_right_logical bit_len shift) 0xffL) in
+    Bytes.set ctx.block (56 + i) (Char.chr byte)
+  done;
+  compress ctx;
+  let out = Bytes.create 32 in
+  for i = 0 to 7 do
+    let v = ctx.h.(i) in
+    let byte shift = Char.chr (Int32.to_int (shr v shift &&& 0xffl)) in
+    Bytes.set out (4 * i) (byte 24);
+    Bytes.set out ((4 * i) + 1) (byte 16);
+    Bytes.set out ((4 * i) + 2) (byte 8);
+    Bytes.set out ((4 * i) + 3) (byte 0)
+  done;
+  Bytes.unsafe_to_string out
+
+let digest_string s =
+  let ctx = init () in
+  feed_string ctx s;
+  finalize ctx
+
+(* Length-prefix each part so the encoding is injective. *)
+let digest_concat parts =
+  let ctx = init () in
+  let len_buf = Bytes.create 8 in
+  let feed_len n =
+    for i = 0 to 7 do
+      Bytes.set len_buf i (Char.chr ((n lsr (8 * (7 - i))) land 0xff))
+    done;
+    feed_bytes ctx len_buf ~pos:0 ~len:8
+  in
+  List.iter
+    (fun part ->
+      feed_len (String.length part);
+      feed_string ctx part)
+    parts;
+  finalize ctx
+
+let to_hex d =
+  let buf = Buffer.create (2 * String.length d) in
+  String.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%02x" (Char.code c))) d;
+  Buffer.contents buf

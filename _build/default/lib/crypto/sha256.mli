@@ -1,0 +1,41 @@
+(** From-scratch SHA-256 (FIPS 180-4).
+
+    This is the hash function underlying every other cryptographic component
+    in the reproduction: HMAC, the PRF, commitments, and the simulated NIZK
+    tags. It is a plain, portable OCaml implementation — no C stubs — and is
+    validated in the test suite against the official NIST test vectors.
+
+    Both a one-shot and an incremental interface are provided. All digests
+    are 32 raw bytes; use {!to_hex} for a printable form. *)
+
+type ctx
+(** Mutable hashing context for incremental use. *)
+
+val init : unit -> ctx
+(** [init ()] is a fresh context with the standard initial hash state. *)
+
+val feed_bytes : ctx -> bytes -> pos:int -> len:int -> unit
+(** [feed_bytes ctx b ~pos ~len] absorbs [len] bytes of [b] starting at
+    [pos]. @raise Invalid_argument if the range is out of bounds. *)
+
+val feed_string : ctx -> string -> unit
+(** [feed_string ctx s] absorbs all of [s]. *)
+
+val finalize : ctx -> string
+(** [finalize ctx] pads, finishes, and returns the 32-byte digest. The
+    context must not be used afterwards. *)
+
+val digest_string : string -> string
+(** [digest_string s] is the 32-byte SHA-256 digest of [s]. *)
+
+val digest_concat : string list -> string
+(** [digest_concat parts] hashes the concatenation of [parts] without
+    building the intermediate string. Each part is length-prefixed
+    internally so that the encoding is injective (no ambiguity between
+    ["ab";"c"] and ["a";"bc"]). *)
+
+val to_hex : string -> string
+(** [to_hex d] renders a raw digest as lowercase hexadecimal. *)
+
+val digest_size : int
+(** Size of a digest in bytes (32). *)

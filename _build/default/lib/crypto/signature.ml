@@ -1,0 +1,26 @@
+type scheme = { keys : string array }
+
+type tag = string
+
+let setup ~n rng =
+  { keys = Array.init n (fun _ -> Prf.gen rng) }
+
+let n scheme = Array.length scheme.keys
+
+let check_range scheme i =
+  if i < 0 || i >= Array.length scheme.keys then
+    invalid_arg "Signature: signer out of range"
+
+let sign scheme ~signer msg =
+  check_range scheme signer;
+  Hmac.mac_concat ~key:scheme.keys.(signer) [ "sig"; msg ]
+
+let verify scheme ~signer msg tag =
+  check_range scheme signer;
+  Hmac.equal tag (sign scheme ~signer msg)
+
+let corrupt_key scheme i =
+  check_range scheme i;
+  scheme.keys.(i)
+
+let tag_bits = 32 * 8

@@ -1,0 +1,34 @@
+type params = { crs_comm : Commitment.crs; crs_nizk : Nizk.crs }
+
+type sk = { index : int; prf_key : Prf.key; salt : string }
+
+type pk = { pk_index : int; com : Commitment.t }
+
+type evaluation = { rho : string; proof : Nizk.proof }
+
+let keygen params rng ~index =
+  let prf_key = Prf.gen rng in
+  let salt = Commitment.fresh_salt rng in
+  let com = Commitment.commit params.crs_comm ~value:prf_key ~salt in
+  ({ index; prf_key; salt }, { pk_index = index; com })
+
+let statement params ~com ~rho ~msg =
+  { Nizk.rho;
+    com;
+    crs_comm = Commitment.crs_to_string params.crs_comm;
+    msg }
+
+let eval params sk msg =
+  let rho = Prf.eval sk.prf_key msg in
+  let com = Commitment.commit params.crs_comm ~value:sk.prf_key ~salt:sk.salt in
+  let stmt = statement params ~com ~rho ~msg in
+  let witness = { Nizk.sk = sk.prf_key; salt = sk.salt } in
+  { rho; proof = Nizk.prove params.crs_nizk params.crs_comm stmt witness }
+
+let verify params pk msg ev =
+  let stmt = statement params ~com:pk.com ~rho:ev.rho ~msg in
+  Nizk.verify params.crs_nizk stmt ev.proof
+
+let output_fraction ev = Prf.output_fraction ev.rho
+
+let evaluation_bits ev = (String.length ev.rho * 8) + Nizk.proof_bits ev.proof

@@ -1,0 +1,1 @@
+lib/experiments/common.ml: Bacrypto Basim List Printf

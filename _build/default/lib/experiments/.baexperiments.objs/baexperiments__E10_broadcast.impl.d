@@ -1,0 +1,1 @@
+lib/experiments/e10_broadcast.ml: Array Bacore Basim Bastats Broadcast Common Corruption Engine Fun List Params Printf Properties Scenario Sub_hm

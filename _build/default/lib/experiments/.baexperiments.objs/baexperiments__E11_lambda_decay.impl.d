@@ -1,0 +1,1 @@
+lib/experiments/e11_lambda_decay.ml: Baattacks Bacore Basim Bastats Common Engine List Params Printf Properties Scenario Sub_hm

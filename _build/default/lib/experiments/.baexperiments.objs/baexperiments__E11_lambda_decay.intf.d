@@ -1,0 +1,1 @@
+lib/experiments/e11_lambda_decay.mli: Bastats

@@ -1,0 +1,1 @@
+lib/experiments/e1_strong_adaptive.ml: Array Baattacks Babaselines Bacore Basim Bastats Common Engine List Params Properties Quadratic_hm Scenario Sub_hm

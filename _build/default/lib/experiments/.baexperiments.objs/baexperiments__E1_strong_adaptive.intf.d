@@ -1,0 +1,1 @@
+lib/experiments/e1_strong_adaptive.mli: Bastats

@@ -1,0 +1,1 @@
+lib/experiments/e1b_dolev_reischuk.ml: Array Baattacks Babaselines Basim Bastats Common Engine List Properties

@@ -1,0 +1,1 @@
+lib/experiments/e1b_dolev_reischuk.mli: Bastats

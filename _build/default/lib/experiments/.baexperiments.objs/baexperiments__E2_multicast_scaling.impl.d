@@ -1,0 +1,1 @@
+lib/experiments/e2_multicast_scaling.ml: Bacore Basim Bastats Common Corruption Engine List Params Properties Quadratic_hm Scenario Sub_hm Sub_third

@@ -1,0 +1,1 @@
+lib/experiments/e2_multicast_scaling.mli: Bastats

@@ -1,0 +1,1 @@
+lib/experiments/e3_round_complexity.ml: Babaselines Bacore Basim Bastats Common Corruption Engine Int64 List Params Printf Quadratic_hm Scenario Sub_hm

@@ -1,0 +1,1 @@
+lib/experiments/e3_round_complexity.mli: Bastats

@@ -1,0 +1,1 @@
+lib/experiments/e4_resilience.ml: Baattacks Bacore Basim Bastats Common Engine List Params Printf Properties Scenario Sub_hm Sub_third

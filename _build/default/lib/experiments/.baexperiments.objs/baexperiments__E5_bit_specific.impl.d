@@ -1,0 +1,1 @@
+lib/experiments/e5_bit_specific.ml: Baattacks Bacore Basim Bastats Common Engine List Params Properties Scenario Sub_third

@@ -1,0 +1,1 @@
+lib/experiments/e5_bit_specific.mli: Bastats

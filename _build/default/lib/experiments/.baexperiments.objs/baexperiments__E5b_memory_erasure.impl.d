@@ -1,0 +1,1 @@
+lib/experiments/e5b_memory_erasure.ml: Baattacks Babaselines Bacore Basim Bastats Common Engine List Params Printf Properties Scenario Sub_third

@@ -1,0 +1,1 @@
+lib/experiments/e5b_memory_erasure.mli: Bastats

@@ -1,0 +1,1 @@
+lib/experiments/e6_setup_necessity.ml: Baattacks Bastats Common List Setup_necessity

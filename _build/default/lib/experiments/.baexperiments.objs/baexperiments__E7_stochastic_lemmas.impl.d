@@ -1,0 +1,1 @@
+lib/experiments/e7_stochastic_lemmas.ml: Array Bacore Bafmine Basim Bastats Common Corruption Engine List Params Printf Quadratic_hm Scenario Sub_hm

@@ -1,0 +1,1 @@
+lib/experiments/e8_takeover.ml: Baattacks Babaselines Bacore Basim Bastats Common Engine Params Printf Properties Scenario Sub_hm

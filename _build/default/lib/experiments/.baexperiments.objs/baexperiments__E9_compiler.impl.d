@@ -1,0 +1,1 @@
+lib/experiments/e9_compiler.ml: Bacore Bacrypto Bafmine Basim Bastats Common Corruption Engine Hashtbl Metrics Params Printf Scenario Sub_hm

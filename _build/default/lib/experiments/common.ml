@@ -1,0 +1,48 @@
+type rates = {
+  trials : int;
+  consistency_fail : int;
+  validity_fail : int;
+  termination_fail : int;
+  mean_rounds : float;
+  mean_multicasts : float;
+  mean_multicast_bits : float;
+  mean_unicasts : float;
+  mean_removals : float;
+  mean_corruptions : float;
+}
+
+let seed_of base k =
+  Bacrypto.Rng.next_int64
+    (Bacrypto.Rng.split_named (Bacrypto.Rng.create base) (string_of_int k))
+
+let measure ~reps ~seed f =
+  let results = List.init reps (fun k -> f (seed_of seed k)) in
+  let count p = List.length (List.filter p results) in
+  let meanf g =
+    List.fold_left (fun acc r -> acc +. g r) 0.0 results /. float_of_int reps
+  in
+  { trials = reps;
+    consistency_fail = count (fun (_, v) -> not v.Basim.Properties.consistent);
+    validity_fail = count (fun (_, v) -> not v.Basim.Properties.valid);
+    termination_fail = count (fun (_, v) -> not v.Basim.Properties.terminated);
+    mean_rounds = meanf (fun (r, _) -> float_of_int r.Basim.Engine.rounds_used);
+    mean_multicasts =
+      meanf (fun (r, _) ->
+          float_of_int (Basim.Metrics.honest_multicasts r.Basim.Engine.metrics));
+    mean_multicast_bits =
+      meanf (fun (r, _) ->
+          float_of_int
+            (Basim.Metrics.honest_multicast_bits r.Basim.Engine.metrics));
+    mean_unicasts =
+      meanf (fun (r, _) ->
+          float_of_int (Basim.Metrics.honest_unicasts r.Basim.Engine.metrics));
+    mean_removals =
+      meanf (fun (r, _) ->
+          float_of_int (Basim.Metrics.removals r.Basim.Engine.metrics));
+    mean_corruptions =
+      meanf (fun (r, _) -> float_of_int r.Basim.Engine.corruptions) }
+
+let pct p = Printf.sprintf "%.1f%%" (100.0 *. p)
+
+let rate k n =
+  Printf.sprintf "%d/%d (%s)" k n (pct (float_of_int k /. float_of_int n))

@@ -1,0 +1,34 @@
+(** Shared plumbing for the experiment suite E1–E9: repetition over
+    derived seeds, rate formatting, and verdict aggregation. Each
+    experiment module exposes [run : ?reps:int -> ?seed:int64 -> unit ->
+    Bastats.Table.t list]; tables are printed by [bin/experiments.exe]
+    and [bench/main.exe] and recorded in EXPERIMENTS.md. *)
+
+type rates = {
+  trials : int;
+  consistency_fail : int;
+  validity_fail : int;
+  termination_fail : int;
+  mean_rounds : float;
+  mean_multicasts : float;
+  mean_multicast_bits : float;
+  mean_unicasts : float;
+  mean_removals : float;
+  mean_corruptions : float;
+}
+
+val measure :
+  reps:int ->
+  seed:int64 ->
+  (int64 -> Basim.Engine.result * Basim.Properties.verdict) ->
+  rates
+(** Run [reps] trials on derived seeds and aggregate. *)
+
+val rate : int -> int -> string
+(** [rate k n] renders "k/n (p%)". *)
+
+val pct : float -> string
+(** Percentage with one decimal. *)
+
+val seed_of : int64 -> int -> int64
+(** [seed_of base k] — the k-th derived seed. *)

@@ -1,0 +1,92 @@
+open Basim
+open Bacore
+
+let n = 201
+
+let params = Params.make ~lambda:40 ~max_epochs:60 ()
+
+let passive () = Engine.passive ~name:"none" ~model:Corruption.Adaptive
+
+(* A corrupt sender that equivocates its round-0 announcement: bit 0 to
+   the lower half, bit 1 to the upper half. *)
+let equivocating_sender ~sender () =
+  { Engine.adv_name = "equivocating-sender";
+    model = Corruption.Static;
+    setup = (fun _ ~n:_ ~budget:_ ~rng:_ -> [ sender ]);
+    intervene =
+      (fun view ->
+        if view.Engine.round = 0 then
+          [ Engine.Inject
+              { src = sender;
+                dst = Engine.Only (List.init (n / 2) Fun.id);
+                payload = Broadcast.Input false };
+            Engine.Inject
+              { src = sender;
+                dst = Engine.Only (List.init (n - (n / 2)) (fun i -> (n / 2) + i));
+                payload = Broadcast.Input true } ]
+        else []) }
+
+let run ?(reps = 6) ?(seed = 112L) () =
+  let table =
+    Bastats.Table.create
+      ~title:
+        (Printf.sprintf
+           "E10 (§1.1): Byzantine Broadcast from BA preserves efficiency \
+            (n = %d, λ = 40, sub-hm underneath)"
+           n)
+      ~columns:
+        [ "configuration"; "validity fail"; "consistency fail"; "non-term";
+          "multicasts"; "rounds" ]
+  in
+  let add label rates =
+    Bastats.Table.add_row table
+      [ label;
+        Common.rate rates.Common.validity_fail rates.Common.trials;
+        Common.rate rates.Common.consistency_fail rates.Common.trials;
+        Common.rate rates.Common.termination_fail rates.Common.trials;
+        Bastats.Table.fmt_float rates.Common.mean_multicasts;
+        Bastats.Table.fmt_float rates.Common.mean_rounds ]
+  in
+  (* Baseline: the BA alone, for the multicast comparison. *)
+  add "BA alone (sub-hm)"
+    (Common.measure ~reps ~seed (fun s ->
+         let proto = Sub_hm.protocol ~params ~world:`Hybrid in
+         let inputs = Scenario.random_inputs ~n s in
+         let result =
+           Engine.run proto ~adversary:(passive ()) ~n ~budget:0 ~inputs
+             ~max_rounds:250 ~seed:s
+         in
+         (result, Properties.agreement ~inputs result)));
+  (* Broadcast with an honest sender: validity in the broadcast sense. *)
+  add "Broadcast, honest sender"
+    (Common.measure ~reps ~seed (fun s ->
+         let bb =
+           Broadcast.of_ba (Sub_hm.protocol ~params ~world:`Hybrid) ~sender:0
+         in
+         let inputs = Array.make n false in
+         inputs.(0) <- true;
+         let result =
+           Engine.run bb ~adversary:(passive ()) ~n ~budget:0 ~inputs
+             ~max_rounds:254 ~seed:s
+         in
+         (result, Properties.broadcast ~sender:0 ~input:true result)));
+  (* Broadcast with an equivocating corrupt sender: consistency must hold
+     anyway (validity is vacuous). *)
+  add "Broadcast, equivocating sender"
+    (Common.measure ~reps ~seed (fun s ->
+         let bb =
+           Broadcast.of_ba (Sub_hm.protocol ~params ~world:`Hybrid) ~sender:0
+         in
+         let inputs = Array.make n true in
+         let result =
+           Engine.run bb
+             ~adversary:(equivocating_sender ~sender:0 ())
+             ~n ~budget:1 ~inputs ~max_rounds:254 ~seed:s
+         in
+         (result, Properties.broadcast ~sender:0 ~input:true result)));
+  Bastats.Table.add_note table
+    "the reduction adds one multicast and one round; a corrupt sender can \
+     split the BA inputs but not the BA outputs — which is why the paper \
+     states upper bounds for BA and lower bounds for Broadcast and loses \
+     nothing.";
+  [ table ]

@@ -1,0 +1,13 @@
+(** Experiment E10 — the §1.1 reduction: Byzantine Broadcast from BA
+    preserves communication efficiency.
+
+    The paper states its upper bounds for BA and its lower bounds for
+    Broadcast, connected by the reduction "sender multicasts its input,
+    then everyone runs BA on what they received" — which adds exactly one
+    multicast. The table compares the BA and the wrapped-Broadcast runs
+    of the subquadratic protocol (still polylog multicasts), checks
+    honest-sender validity, and shows that a corrupt {e equivocating}
+    sender — who tells each half of the network a different bit — still
+    cannot break consistency: BA's agreement absorbs the equivocation. *)
+
+val run : ?reps:int -> ?seed:int64 -> unit -> Bastats.Table.t list

@@ -1,0 +1,13 @@
+(** Experiment E11 — the "negligible in κ" claims, quantitatively.
+
+    Every security statement in the paper fails with probability
+    [exp(−Ω(ε²λ)) · poly(κ)] (Lemmas 10–15): the committee size λ is the
+    security dial. This experiment fixes an aggressive-but-tolerated
+    corruption level ([f/n = 0.4 < 1/2 − ε]) and sweeps λ, measuring the
+    safety-failure rate of {!Bacore.Sub_hm} under the double-voting
+    adversary. The rate must decay roughly geometrically in λ — visible
+    already between λ = 10 and λ = 50 — which is the executable meaning
+    of "except with negligible probability" and the reason the paper can
+    take λ = ω(log κ). *)
+
+val run : ?reps:int -> ?seed:int64 -> unit -> Bastats.Table.t list

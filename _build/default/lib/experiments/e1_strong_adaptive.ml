@@ -1,0 +1,86 @@
+open Basim
+open Bacore
+
+let sub_hm_row table ~reps ~seed ~n ~budget ~adversary ~label ~max_epochs =
+  let params = Params.make ~lambda:20 ~max_epochs () in
+  let proto = Sub_hm.protocol ~params ~world:`Hybrid in
+  let rates =
+    Common.measure ~reps ~seed (fun s ->
+        let inputs = Scenario.unanimous_inputs ~n true in
+        let result =
+          Engine.run proto ~adversary:(adversary ()) ~n ~budget ~inputs
+            ~max_rounds:((4 * max_epochs) + 10) ~seed:s
+        in
+        (result, Properties.agreement ~inputs result))
+  in
+  let bound = (0.5 *. float_of_int budget /. 2.0) ** 2.0 in
+  Bastats.Table.add_row table
+    [ label;
+      string_of_int n;
+      string_of_int budget;
+      Common.rate rates.Common.termination_fail rates.Common.trials;
+      Common.rate rates.Common.consistency_fail rates.Common.trials;
+      Bastats.Table.fmt_float rates.Common.mean_multicasts;
+      Bastats.Table.fmt_float rates.Common.mean_removals;
+      Bastats.Table.fmt_float bound ]
+
+let comparator_row table ~reps ~seed ~label ~run_one =
+  let rates = Common.measure ~reps ~seed run_one in
+  Bastats.Table.add_row table
+    [ label;
+      "-";
+      "-";
+      Common.rate rates.Common.termination_fail rates.Common.trials;
+      Common.rate rates.Common.consistency_fail rates.Common.trials;
+      Bastats.Table.fmt_float rates.Common.mean_multicasts;
+      Bastats.Table.fmt_float rates.Common.mean_removals;
+      "-" ]
+
+let run ?(reps = 10) ?(seed = 101L) () =
+  let table =
+    Bastats.Table.create
+      ~title:
+        "E1 (Thm 1/4): strongly adaptive eraser — subquadratic BA dies, \
+         quadratic survives"
+      ~columns:
+        [ "protocol/adversary"; "n"; "budget f"; "non-term"; "inconsist";
+          "multicasts"; "erased"; "(f/4)^2" ]
+  in
+  (* Budget sweep against the subquadratic protocol. *)
+  List.iter
+    (fun budget ->
+      sub_hm_row table ~reps ~seed ~n:401 ~budget ~adversary:Baattacks.Eraser.make
+        ~label:"sub-hm + eraser" ~max_epochs:5)
+    [ 0; 40; 80; 120; 150 ];
+  (* Control: merely adaptive corruption of the same speakers. *)
+  sub_hm_row table ~reps ~seed ~n:401 ~budget:150
+    ~adversary:Baattacks.Eraser.silencer
+    ~label:"sub-hm + silencer (no removal)" ~max_epochs:12;
+  (* Quadratic honest-majority BA under the eraser at full budget f. *)
+  comparator_row table ~reps ~seed ~label:"quadratic-hm + eraser (f = n/2)"
+    ~run_one:(fun s ->
+      let proto = Quadratic_hm.protocol () in
+      let inputs = Scenario.unanimous_inputs ~n:101 true in
+      let result =
+        Engine.run proto ~adversary:(Baattacks.Eraser.make ()) ~n:101 ~budget:50 ~inputs
+          ~max_rounds:200 ~seed:s
+      in
+      (result, Properties.agreement ~inputs result));
+  (* Dolev–Strong under the eraser: worst case a consistent default. *)
+  comparator_row table ~reps ~seed ~label:"dolev-strong + eraser (f = n/3)"
+    ~run_one:(fun s ->
+      let proto = Babaselines.Dolev_strong.protocol ~sender:0 ~f:10 in
+      let inputs = Array.make 31 true in
+      let result =
+        Engine.run proto ~adversary:(Baattacks.Eraser.make ()) ~n:31 ~budget:10 ~inputs
+          ~max_rounds:14 ~seed:s
+      in
+      (result, Properties.broadcast ~sender:0 ~input:true result));
+  Bastats.Table.add_note table
+    "sub-hm dies as soon as the budget covers its O(poly log) speakers — far \
+     below the (εf/2)² message bound a strongly-adaptively-secure protocol \
+     must pay (Theorem 4).";
+  Bastats.Table.add_note table
+    "the silencer control shows corruption alone is harmless: it is the \
+     after-the-fact removal that kills subquadratic protocols.";
+  [ table ]

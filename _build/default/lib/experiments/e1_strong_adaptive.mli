@@ -1,0 +1,21 @@
+(** Experiment E1 — Theorem 1/4: against a strongly adaptive adversary
+    (after-the-fact removal), subquadratic BA is impossible, and the
+    communication needed to survive is Ω(f²).
+
+    The {!Baattacks.Eraser} silences every honest speaker until its
+    corruption budget runs out. We sweep the budget against the
+    subquadratic protocol ({!Bacore.Sub_hm}): once the budget covers the
+    protocol's total number of speakers — a polylogarithmic quantity far
+    below [(εf/2)²] — no honest node ever hears anything and termination
+    fails. Controls:
+
+    - the {e silencer} (same corruptions, no removal — i.e. the paper's
+      default adaptive model) leaves the protocol intact, isolating
+      removal as the lethal power;
+    - the quadratic protocol ([2f+1] speakers per round) exhausts the
+      eraser in round one and sails through — quadratic communication is
+      exactly what buys strong-adaptive resilience;
+    - Dolev–Strong survives with its output degraded to the default bit
+      at worst (consistently), never disagreeing. *)
+
+val run : ?reps:int -> ?seed:int64 -> unit -> Bastats.Table.t list

@@ -1,0 +1,12 @@
+(** Experiment E1b — the Dolev–Reischuk core of the lower bound, made
+    concrete on a deterministic victim.
+
+    {!Babaselines.Sparse_relay} broadcasts with redundancy [d]
+    ([≈ n·d] total messages); the {!Baattacks.Dolev_reischuk} adversary
+    isolates one node by corrupting its [d] predecessors. The sweep over
+    [d] with a fixed budget [f] shows the attack succeeds exactly while
+    [d ≤ f] — so safety requires [d > f], i.e. more than [n·f] messages,
+    which is [Ω(f²)] at [n = Θ(f)]: Dolev–Reischuk's bound observed as a
+    phase transition in a table. *)
+
+val run : ?reps:int -> ?seed:int64 -> unit -> Bastats.Table.t list

@@ -1,0 +1,79 @@
+open Basim
+open Bacore
+
+let passive () = Engine.passive ~name:"passive" ~model:Corruption.Adaptive
+
+let measure_protocol proto ~n ~reps ~seed ~max_rounds =
+  Common.measure ~reps ~seed (fun s ->
+      let inputs = Scenario.random_inputs ~n s in
+      let result =
+        Engine.run proto ~adversary:(passive ()) ~n ~budget:0 ~inputs
+          ~max_rounds ~seed:s
+      in
+      (result, Properties.agreement ~inputs result))
+
+let run ?(reps = 3) ?(seed = 103L) () =
+  let params = Params.make ~lambda:40 ~max_epochs:60 () in
+  let sub_table =
+    Bastats.Table.create
+      ~title:"E2a (Thm 2): sub-hm multicast complexity is flat in n (λ = 40)"
+      ~columns:
+        [ "n"; "multicasts"; "multicast kbits"; "pairwise msgs"; "rounds";
+          "per-round multicasts" ]
+  in
+  List.iter
+    (fun n ->
+      let proto = Sub_hm.protocol ~params ~world:`Hybrid in
+      let r = measure_protocol proto ~n ~reps ~seed ~max_rounds:250 in
+      Bastats.Table.add_row sub_table
+        [ string_of_int n;
+          Bastats.Table.fmt_float r.Common.mean_multicasts;
+          Bastats.Table.fmt_float (r.Common.mean_multicast_bits /. 1000.0);
+          Bastats.Table.fmt_float (r.Common.mean_multicasts *. float_of_int n);
+          Bastats.Table.fmt_float r.Common.mean_rounds;
+          Bastats.Table.fmt_float
+            (r.Common.mean_multicasts /. r.Common.mean_rounds) ])
+    [ 101; 201; 401; 801; 1601; 3201 ];
+  Bastats.Table.add_note sub_table
+    "only O(λ) nodes speak per round regardless of n: the multicast counts \
+     do not grow with the network (Theorem 2 / Lemma 15).";
+  let sub3_table =
+    Bastats.Table.create
+      ~title:"E2c: the §3.2 one-third protocol is also flat in n (λ = 40, R = 16)"
+      ~columns:[ "n"; "multicasts"; "per-epoch multicasts" ]
+  in
+  List.iter
+    (fun n ->
+      let p3 = Params.make ~lambda:40 ~max_epochs:16 () in
+      let proto =
+        Sub_third.protocol ~params:p3 ~world:`Hybrid ~mode:Sub_third.Bit_specific
+      in
+      let r = measure_protocol proto ~n ~reps ~seed ~max_rounds:36 in
+      Bastats.Table.add_row sub3_table
+        [ string_of_int n;
+          Bastats.Table.fmt_float r.Common.mean_multicasts;
+          Bastats.Table.fmt_float (r.Common.mean_multicasts /. 16.0) ])
+    [ 201; 801; 3201 ];
+  let quad_table =
+    Bastats.Table.create
+      ~title:"E2b: quadratic-hm multicasts grow with n (pairwise = Θ(n²))"
+      ~columns:
+        [ "n"; "multicasts"; "pairwise msgs"; "rounds"; "per-round multicasts" ]
+  in
+  List.iter
+    (fun n ->
+      let proto = Quadratic_hm.protocol () in
+      let r = measure_protocol proto ~n ~reps ~seed ~max_rounds:220 in
+      Bastats.Table.add_row quad_table
+        [ string_of_int n;
+          Bastats.Table.fmt_float r.Common.mean_multicasts;
+          Bastats.Table.fmt_float (r.Common.mean_multicasts *. float_of_int n);
+          Bastats.Table.fmt_float r.Common.mean_rounds;
+          Bastats.Table.fmt_float
+            (r.Common.mean_multicasts /. r.Common.mean_rounds) ])
+    [ 101; 201; 401 ];
+  Bastats.Table.add_note quad_table
+    "every node multicasts every round: per-round multicasts ≈ n, so \
+     pairwise messages scale as n² — the cost Theorem 1 says is unavoidable \
+     under a strongly adaptive adversary, and Theorem 2 avoids without one.";
+  [ sub_table; sub3_table; quad_table ]

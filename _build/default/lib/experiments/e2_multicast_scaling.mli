@@ -1,0 +1,12 @@
+(** Experiment E2 — Theorem 2: the subquadratic protocol's multicast
+    complexity is polylogarithmic and {e independent of n}, while the
+    quadratic protocol multicasts Θ(n) messages per round (Θ(n²)
+    pairwise).
+
+    Sweep [n] with fixed committee size [λ]: the sub-hm columns stay
+    flat; the quadratic columns grow linearly in multicasts and
+    quadratically in pairwise messages. This regenerates the headline
+    comparison of the paper's Table-less evaluation (Theorem 2 vs the
+    warmup protocols of §3.1 / C.1). *)
+
+val run : ?reps:int -> ?seed:int64 -> unit -> Bastats.Table.t list

@@ -1,0 +1,8 @@
+(** Experiment E3 — Corollary 16 vs Nakamoto-style confirmation: the
+    subquadratic protocol terminates in expected O(1) rounds (a geometric
+    number of 4-round iterations, success probability > 1/(2e) each —
+    Lemma 12), while a longest-chain protocol needs rounds {e linear} in
+    its confirmation depth (its security parameter), so it cannot be
+    expected-constant-round at any fixed security level. *)
+
+val run : ?reps:int -> ?seed:int64 -> unit -> Bastats.Table.t list

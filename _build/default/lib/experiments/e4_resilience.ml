@@ -1,0 +1,59 @@
+open Basim
+open Bacore
+
+let n = 200
+
+let sub_third_rates ~reps ~seed ~budget =
+  let params = Params.make ~lambda:60 ~max_epochs:14 () in
+  let proto =
+    Sub_third.protocol ~params ~world:`Hybrid ~mode:Sub_third.Bit_specific
+  in
+  Common.measure ~reps ~seed (fun s ->
+      let inputs = Scenario.split_inputs ~n in
+      let result =
+        Engine.run proto
+          ~adversary:(Baattacks.Split_vote.sub_third ())
+          ~n ~budget ~inputs ~max_rounds:32 ~seed:s
+      in
+      (result, Properties.agreement ~inputs result))
+
+let sub_hm_rates ~reps ~seed ~budget =
+  let params = Params.make ~lambda:40 ~max_epochs:40 () in
+  let proto = Sub_hm.protocol ~params ~world:`Hybrid in
+  Common.measure ~reps ~seed (fun s ->
+      let inputs = Scenario.unanimous_inputs ~n true in
+      let result =
+        Engine.run proto
+          ~adversary:(Baattacks.Split_vote.sub_hm ())
+          ~n ~budget ~inputs ~max_rounds:170 ~seed:s
+      in
+      (result, Properties.agreement ~inputs result))
+
+let run ?(reps = 10) ?(seed = 105L) () =
+  let table =
+    Bastats.Table.create
+      ~title:
+        "E4: resilience sweep under double-voting adversaries (n = 200)"
+      ~columns:
+        [ "f/n"; "sub-third inconsist"; "sub-third non-term";
+          "sub-hm safety fail"; "sub-hm non-term" ]
+  in
+  List.iter
+    (fun fraction ->
+      let budget = int_of_float (fraction *. float_of_int n) in
+      let third = sub_third_rates ~reps ~seed ~budget in
+      let hm = sub_hm_rates ~reps ~seed ~budget in
+      let hm_safety = max hm.Common.consistency_fail hm.Common.validity_fail in
+      Bastats.Table.add_row table
+        [ Printf.sprintf "%.2f" fraction;
+          Common.rate third.Common.consistency_fail third.Common.trials;
+          Common.rate third.Common.termination_fail third.Common.trials;
+          Common.rate hm_safety hm.Common.trials;
+          Common.rate hm.Common.termination_fail hm.Common.trials ])
+    [ 0.10; 0.20; 0.30; 0.37; 0.45; 0.55; 0.65 ];
+  Bastats.Table.add_note table
+    "sub-third degrades past f/n = 1/3 (its per-bit ACK committee crosses \
+     the 2λ/3 quorum there); sub-hm holds to just below 1/2 and collapses \
+     beyond it, where corrupt vote committees alone reach λ/2 (Theorem 2's \
+     (1-ε)/2 resilience is near-optimal).";
+  [ table ]

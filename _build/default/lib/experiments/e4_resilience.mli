@@ -1,0 +1,16 @@
+(** Experiment E4 — resilience thresholds: Theorem 2's [f < (1−ε)n/2] for
+    the honest-majority protocol versus the [n/3] barrier of the §3
+    protocol.
+
+    Sweep the corruption fraction under the {!Baattacks.Split_vote}
+    double-voting adversaries (entirely legitimate Byzantine behaviour:
+    real mined credentials of corrupt nodes, targeted at network halves):
+
+    - {!Bacore.Sub_third} stays safe below [n/3] and starts splitting
+      beyond it — the per-bit ACK committee [((n−f)/2 + f)·λ/n] crosses
+      the [2λ/3] quorum exactly at [f = n/3];
+    - {!Bacore.Sub_hm} stays safe up to (just below) [n/2]; past it, the
+      corrupt coalition's vote committee alone reaches the [λ/2] quorum
+      and it can manufacture conflicting commits. *)
+
+val run : ?reps:int -> ?seed:int64 -> unit -> Bastats.Table.t list

@@ -1,0 +1,19 @@
+(** Experiment E5 — the §3.3-Remark ablation: {e vote-specific
+    (bit-specific) eligibility is what buys adaptive security}.
+
+    The same merely-adaptive {!Baattacks.Equivocator} — which corrupts
+    each node the moment its ACK reveals it and replays the revealed
+    eligibility credential on the opposite bit — is run against the
+    §3.2 protocol in its two eligibility modes:
+
+    - {b bit-agnostic} (the ticket names only (ACK, epoch)): the replay
+      verifies, every epoch committee is mirrored onto the opposite bit,
+      honest nodes observe "ample ACKs" for {e both} bits (the
+      within-epoch consistency violation the Remark describes), the
+      split never converges, and final outputs disagree;
+    - {b bit-specific} (the paper's protocol): the replay fails
+      verification and fresh mining with the stolen key wins only with
+      probability λ/n — corruption gains the adversary essentially
+      nothing. *)
+
+val run : ?reps:int -> ?seed:int64 -> unit -> Bastats.Table.t list

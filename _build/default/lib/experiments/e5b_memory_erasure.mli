@@ -1,0 +1,21 @@
+(** Experiment E5b — why the paper's protocol needs {e fewer} assumptions
+    than Chen–Micali (§3.2's comparison, footnote 5).
+
+    Three designs face their respective §3.3-style equivocators:
+
+    + {b Chen–Micali with memory erasure}: round-specific tickets, ACK
+      bits signed with ephemeral forward-secure keys erased atomically
+      with the send. The ticket replays but the signature cannot be
+      forged — safe, {e at the price of the erasure assumption}.
+    + {b Chen–Micali without erasure}: the same protocol when nodes
+      cannot (or do not) erase — corruption yields the master key, the
+      opposite-bit signature is forged, committees are mirrored, broken.
+    + {b Bit-specific eligibility} (the paper): the ticket itself names
+      the bit; nothing to replay, nothing to erase — safe with no extra
+      model assumptions.
+
+    This is the paper's claim that its key insight {e removes} the
+    memory-erasure model that all prior subquadratic constructions
+    needed. *)
+
+val run : ?reps:int -> ?seed:int64 -> unit -> Bastats.Table.t list

@@ -1,0 +1,45 @@
+open Baattacks
+
+let log2 n = int_of_float (ceil (log (float_of_int n) /. log 2.0))
+
+let run ?(reps = 3) ?(seed = 107L) () =
+  let table =
+    Bastats.Table.create
+      ~title:
+        "E6 (Thm 3): the Q — 1 — Q' experiment on a PKI-free committee \
+         broadcast (committee = 2·log2 n)"
+      ~columns:
+        [ "n"; "multicast complexity C"; "corruptions needed"; "Q decides";
+          "Q' decides"; "node 1"; "contradictions" ]
+  in
+  List.iter
+    (fun n ->
+      let committee_size = 2 * log2 n in
+      let outcomes =
+        List.init reps (fun k ->
+            Setup_necessity.run ~n ~committee_size ~seed:(Common.seed_of seed k))
+      in
+      let first = List.hd outcomes in
+      let contradictions =
+        List.length (List.filter (fun o -> o.Setup_necessity.contradiction) outcomes)
+      in
+      let show_bit = function
+        | Some b -> if b then "1" else "0"
+        | None -> "split"
+      in
+      Bastats.Table.add_row table
+        [ string_of_int n;
+          string_of_int first.Setup_necessity.multicast_complexity;
+          string_of_int first.Setup_necessity.corruptions_needed;
+          show_bit first.Setup_necessity.q_output;
+          show_bit first.Setup_necessity.q'_output;
+          (if first.Setup_necessity.node1_output then "1" else "0");
+          Common.rate contradictions reps ])
+    [ 50; 100; 200; 400; 800 ];
+  Bastats.Table.add_note table
+    "corruptions needed ≤ C ≪ n in every row: simulating the other world \
+     costs the adversary only the protocol's (sublinear) speaker set, so \
+     the shared node's forced disagreement contradicts consistency — no \
+     setup-free protocol can be both communication-efficient and \
+     adaptively secure (Theorem 3).";
+  [ table ]

@@ -1,0 +1,11 @@
+(** Experiment E6 — Theorem 3: without setup assumptions, a protocol with
+    multicast complexity C cannot tolerate C adaptive corruptions.
+
+    Runs the {!Baattacks.Setup_necessity} two-world experiment over a
+    range of network sizes: in every row, both worlds decide their
+    sender's bit (validity), the shared node necessarily disagrees with
+    one of them, and the number of corruptions the honest-1
+    interpretation needs is bounded by the protocol's multicast
+    complexity — sublinear in n. *)
+
+val run : ?reps:int -> ?seed:int64 -> unit -> Bastats.Table.t list

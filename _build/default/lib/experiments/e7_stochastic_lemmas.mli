@@ -1,0 +1,13 @@
+(** Experiment E7 — the stochastic lemmas behind Theorem 2, measured:
+
+    - {b Lemma 11} (committee concentration): per-message committees are
+      Binomial(n, λ/n); measured sizes must sit inside the Chernoff band
+      around λ;
+    - {b Lemma 12} (good iterations): the fraction of iterations with
+      exactly one successful Propose attempt is at least 1/(2e) ≈ 0.18 —
+      this is what makes the protocol expected-constant-round;
+    - {b Lemma 10} (terminate cascade): once the first honest node
+      terminates, everyone else terminates within a couple of rounds —
+      measured as the spread of per-node halt rounds. *)
+
+val run : ?reps:int -> ?seed:int64 -> unit -> Bastats.Table.t list

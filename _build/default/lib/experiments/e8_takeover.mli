@@ -1,0 +1,13 @@
+(** Experiment E8 — the §1 motivation: a public (CRS-selected) committee
+    dies under adaptive corruption; secret, vote-specific committees do
+    not.
+
+    The {!Baattacks.Takeover} adversary corrupts the published committee
+    of {!Babaselines.Static_committee} in round 0 and dictates the
+    output — a 100% validity violation with a budget of just the
+    committee size. The same budget pointed at {!Bacore.Sub_hm} (via the
+    double-voting adversary, the strongest legal use of a small corrupt
+    coalition) achieves nothing: the adversary cannot learn who will be
+    eligible before the message is already on the wire. *)
+
+val run : ?reps:int -> ?seed:int64 -> unit -> Bastats.Table.t list

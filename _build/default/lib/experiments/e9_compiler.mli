@@ -1,0 +1,13 @@
+(** Experiment E9 — Appendix D/E: the real-world compilation of [Fmine]
+    preserves behaviour.
+
+    Both worlds are run over the {e same} PKI and coupled lotteries
+    ({!Bafmine.Compiler.paired}): a node wins an eligibility ticket in
+    the hybrid world iff it wins in the real world. With identical seeds
+    the two executions must then elect identical committees, take the
+    same rounds, multicast the same number of messages, and decide the
+    same bit — the only difference being the VRF credential (ρ, π)
+    attached to every real-world message, whose byte overhead the table
+    reports (Lemma 15's O((log κ + log n)·λ)-bit messages). *)
+
+val run : ?reps:int -> ?seed:int64 -> unit -> Bastats.Table.t list

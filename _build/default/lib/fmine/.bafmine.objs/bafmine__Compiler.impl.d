@@ -1,0 +1,1 @@
+lib/fmine/compiler.ml: Bacrypto Eligibility Hashtbl Pki Prf Vrf

@@ -1,0 +1,1 @@
+lib/fmine/compiler.mli: Bacrypto Eligibility

@@ -1,0 +1,1 @@
+lib/fmine/eligibility.ml: Bacrypto Fmine Printf

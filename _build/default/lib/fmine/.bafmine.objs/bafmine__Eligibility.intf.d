@@ -1,0 +1,1 @@
+lib/fmine/eligibility.mli: Bacrypto Fmine

@@ -1,0 +1,1 @@
+lib/fmine/fmine.ml: Bacrypto Hashtbl Printf String

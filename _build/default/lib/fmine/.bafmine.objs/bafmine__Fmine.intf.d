@@ -1,0 +1,1 @@
+lib/fmine/fmine.mli: Bacrypto

@@ -1,0 +1,51 @@
+open Bacrypto
+
+let real_world pki =
+  let params = Pki.params pki in
+  { Eligibility.world = `Real;
+    mine =
+      (fun ~node ~msg ~p ->
+        let ev = Vrf.eval params (Pki.secret_key pki node) msg in
+        if Prf.below_difficulty ev.Vrf.rho ~p then
+          Some (Eligibility.Vrf_credential ev)
+        else None);
+    verify =
+      (fun ~node ~msg ~p -> function
+        | Eligibility.Ideal_ticket -> false
+        | Eligibility.Vrf_credential ev ->
+            Prf.below_difficulty ev.Vrf.rho ~p
+            && Vrf.verify params (Pki.public_key pki node) msg ev);
+    credential_bits =
+      (function
+        | Eligibility.Ideal_ticket -> 0
+        | Eligibility.Vrf_credential ev -> Vrf.evaluation_bits ev) }
+
+let hybrid_from_pki pki =
+  (* Same Bernoulli lottery as the real world (PRF of the node's actual
+     key), but credentials are ideal tickets and verification consults the
+     functionality's own mined-set table, as in Figure 1. *)
+  let mined : (int * string, bool) Hashtbl.t = Hashtbl.create 1024 in
+  { Eligibility.world = `Hybrid;
+    mine =
+      (fun ~node ~msg ~p ->
+        let outcome =
+          match Hashtbl.find_opt mined (node, msg) with
+          | Some o -> o
+          | None ->
+              let sk = Pki.secret_key pki node in
+              let rho = Prf.eval sk.Vrf.prf_key msg in
+              let o = Prf.below_difficulty rho ~p in
+              Hashtbl.replace mined (node, msg) o;
+              o
+        in
+        if outcome then Some Eligibility.Ideal_ticket else None);
+    verify =
+      (fun ~node ~msg ~p:_ -> function
+        | Eligibility.Ideal_ticket ->
+            (match Hashtbl.find_opt mined (node, msg) with
+            | Some o -> o
+            | None -> false)
+        | Eligibility.Vrf_credential _ -> false);
+    credential_bits = (fun _ -> 0) }
+
+let paired pki = (hybrid_from_pki pki, real_world pki)

@@ -1,0 +1,33 @@
+(** The Appendix-D compiler: instantiate the eligibility interface in the
+    real world, replacing the [Fmine] ideal functionality with the
+    adaptively secure VRF (PRF + perfectly binding commitment + NIZK)
+    built over the trusted PKI.
+
+    - [Fmine.mine(m)] becomes: evaluate [ρ = PRF_sk(m)], attach the NIZK
+      [π] that [ρ] is correct w.r.t. the key committed in the node's
+      public key; the attempt succeeds iff [ρ < D_p].
+    - [Fmine.verify(m, i)] becomes: check [ρ < D_p] and verify [π]
+      against node [i]'s public key.
+
+    Appendix E proves the real world preserves all security properties of
+    the hybrid world; experiment E9 checks the two worlds elect identical
+    committees when driven by the same keys, and measures the proof
+    overhead in bits. *)
+
+val real_world : Bacrypto.Pki.t -> Eligibility.t
+(** [real_world pki] is the compiled eligibility oracle over [pki].
+    [mine ~node] evaluates with node [node]'s secret key (honest code runs
+    in-node; adversaries may call it only for corrupted nodes, whose keys
+    {!Bacrypto.Pki.corrupt} hands over). *)
+
+val hybrid_from_pki : Bacrypto.Pki.t -> Eligibility.t
+(** A hybrid-world oracle whose Bernoulli coins are derived from the
+    PKI's PRF keys — the same lottery as {!real_world} — but which issues
+    zero-size ideal tickets and verifies by consulting its own mined-set
+    table, exactly like {!Fmine}. *)
+
+val paired : Bacrypto.Pki.t -> Eligibility.t * Eligibility.t
+(** [paired pki] is [(hybrid_from_pki pki, real_world pki)]: two worlds
+    coupled on the same lottery, so a node is eligible in one iff in the
+    other. Used by experiment E9 to exhibit transcript equality and
+    measure proof overhead. *)

@@ -1,0 +1,27 @@
+type credential =
+  | Ideal_ticket
+  | Vrf_credential of Bacrypto.Vrf.evaluation
+
+type t = {
+  world : [ `Hybrid | `Real ];
+  mine : node:int -> msg:string -> p:float -> credential option;
+  verify : node:int -> msg:string -> p:float -> credential -> bool;
+  credential_bits : credential -> int;
+}
+
+let hybrid fmine =
+  { world = `Hybrid;
+    mine =
+      (fun ~node ~msg ~p ->
+        if Fmine.mine fmine ~node ~msg ~p then Some Ideal_ticket else None);
+    verify =
+      (fun ~node ~msg ~p:_ -> function
+        | Ideal_ticket -> Fmine.verify fmine ~node ~msg
+        | Vrf_credential _ -> false);
+    credential_bits =
+      (function Ideal_ticket -> 0 | Vrf_credential ev -> Bacrypto.Vrf.evaluation_bits ev) }
+
+let mining_msg ~tag ~iter ~bit =
+  match bit with
+  | Some b -> Printf.sprintf "%s:%d:%d" tag iter (if b then 1 else 0)
+  | None -> Printf.sprintf "%s:%d" tag iter

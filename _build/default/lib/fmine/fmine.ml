@@ -1,0 +1,51 @@
+type record = { outcome : bool; prob : float }
+
+type t = {
+  coin_key : string;              (* hidden; drives the Bernoulli coins *)
+  table : (int * string, record) Hashtbl.t;
+  mutable successes : int;
+}
+
+let create rng =
+  { coin_key = Bacrypto.Prf.gen rng;
+    table = Hashtbl.create 1024;
+    successes = 0 }
+
+let mine t ~node ~msg ~p =
+  match Hashtbl.find_opt t.table (node, msg) with
+  | Some r ->
+      if r.prob <> p then
+        invalid_arg "Fmine.mine: same (node, msg) mined with a different p";
+      r.outcome
+  | None ->
+      let rho =
+        Bacrypto.Prf.eval t.coin_key
+          (Printf.sprintf "%d|%s" node msg)
+      in
+      let outcome = Bacrypto.Prf.below_difficulty rho ~p in
+      Hashtbl.replace t.table (node, msg) { outcome; prob = p };
+      if outcome then t.successes <- t.successes + 1;
+      outcome
+
+let verify t ~node ~msg =
+  match Hashtbl.find_opt t.table (node, msg) with
+  | Some r -> r.outcome
+  | None -> false
+
+let attempts t = Hashtbl.length t.table
+
+let successes t = t.successes
+
+let dump t =
+  Hashtbl.fold (fun key r acc -> (key, r.outcome) :: acc) t.table []
+
+let successes_for t ~prefix =
+  let plen = String.length prefix in
+  Hashtbl.fold
+    (fun (_, msg) r acc ->
+      if
+        r.outcome && String.length msg >= plen
+        && String.equal (String.sub msg 0 plen) prefix
+      then acc + 1
+      else acc)
+    t.table 0

@@ -1,0 +1,1 @@
+lib/sim/properties.ml: Array Engine Format List

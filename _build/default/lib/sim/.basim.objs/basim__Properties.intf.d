@@ -1,0 +1,1 @@
+lib/sim/properties.mli: Engine Format

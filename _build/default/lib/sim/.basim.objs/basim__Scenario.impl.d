@@ -1,0 +1,1 @@
+lib/sim/scenario.ml: Array Bacrypto Engine List Metrics Properties

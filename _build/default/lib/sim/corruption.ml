@@ -1,0 +1,52 @@
+type model = Static | Adaptive | Strongly_adaptive
+
+let to_string = function
+  | Static -> "static"
+  | Adaptive -> "adaptive"
+  | Strongly_adaptive -> "strongly-adaptive"
+
+let allows_removal = function
+  | Strongly_adaptive -> true
+  | Static | Adaptive -> false
+
+let allows_dynamic_corruption = function
+  | Static -> false
+  | Adaptive | Strongly_adaptive -> true
+
+type tracker = {
+  total_budget : int;
+  when_corrupted : int option array; (* None = honest *)
+  mutable used : int;
+}
+
+let create ~n ~budget =
+  if budget < 0 || budget > n then invalid_arg "Corruption.create: bad budget";
+  { total_budget = budget; when_corrupted = Array.make n None; used = 0 }
+
+let budget t = t.total_budget
+
+let budget_left t = t.total_budget - t.used
+
+let is_corrupt t i = t.when_corrupted.(i) <> None
+
+let corrupt_round t i = t.when_corrupted.(i)
+
+let corrupt_now t ~round i =
+  match t.when_corrupted.(i) with
+  | Some _ -> true
+  | None ->
+      if t.used >= t.total_budget then false
+      else begin
+        t.when_corrupted.(i) <- Some round;
+        t.used <- t.used + 1;
+        true
+      end
+
+let corrupt_list t =
+  let acc = ref [] in
+  for i = Array.length t.when_corrupted - 1 downto 0 do
+    if t.when_corrupted.(i) <> None then acc := i :: !acc
+  done;
+  !acc
+
+let count t = t.used

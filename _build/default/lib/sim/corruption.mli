@@ -1,0 +1,59 @@
+(** Adversary corruption models.
+
+    The paper's central modeling distinction (Section 1) is between three
+    strengths of adversary:
+
+    - {b Static}: the corrupt set is fixed before the execution starts.
+    - {b Adaptive} (the paper's default): the adversary may observe the
+      messages honest nodes are about to send in a round and corrupt nodes
+      mid-round; a newly corrupted node can be made to send {e additional}
+      messages in the same round, but messages it already multicast
+      {e cannot be retracted} ("no after-the-fact removal").
+    - {b Strongly adaptive}: in addition, the adversary can erase
+      ("after-the-fact remove") messages that a node sent in the round in
+      which it was corrupted. Theorem 1 shows this power forces Ω(f²)
+      communication. *)
+
+type model =
+  | Static
+      (** Corruptions only before the execution begins. *)
+  | Adaptive
+      (** Mid-round corruption; cannot retract already-sent messages. *)
+  | Strongly_adaptive
+      (** Mid-round corruption with after-the-fact message removal. *)
+
+val to_string : model -> string
+
+val allows_removal : model -> bool
+(** Only [Strongly_adaptive] may erase already-sent messages. *)
+
+val allows_dynamic_corruption : model -> bool
+(** [Static] may corrupt only at setup; the others at any round. *)
+
+type tracker
+(** Bookkeeping of who is corrupt, since when, and budget left. *)
+
+val create : n:int -> budget:int -> tracker
+
+val budget : tracker -> int
+(** Total corruption budget [f]. *)
+
+val budget_left : tracker -> int
+
+val is_corrupt : tracker -> int -> bool
+
+val corrupt_round : tracker -> int -> int option
+(** Round in which a node was corrupted ([Some (-1)] for setup-time),
+    [None] if honest. *)
+
+val corrupt_now : tracker -> round:int -> int -> bool
+(** [corrupt_now t ~round i] marks [i] corrupt at [round] ([-1] denotes
+    setup time). Returns [false] (and does nothing) if the budget is
+    exhausted; idempotent on already-corrupt nodes (returns [true] without
+    consuming budget). *)
+
+val corrupt_list : tracker -> int list
+(** All currently corrupt nodes, ascending. *)
+
+val count : tracker -> int
+(** Number of corrupt nodes. *)

@@ -1,0 +1,268 @@
+type dest = All | Only of int list
+
+type 'msg send = { dst : dest; payload : 'msg }
+
+let multicast payload = { dst = All; payload }
+
+type ('env, 'state, 'msg) protocol = {
+  proto_name : string;
+  make_env : n:int -> Bacrypto.Rng.t -> 'env;
+  init : 'env -> rng:Bacrypto.Rng.t -> n:int -> me:int -> input:bool -> 'state;
+  step :
+    'env ->
+    'state ->
+    round:int ->
+    inbox:(int * 'msg) list ->
+    'state * 'msg send list;
+  output : 'state -> bool option;
+  halted : 'state -> bool;
+  msg_bits : 'env -> 'msg -> int;
+}
+
+type ('env, 'msg) view = {
+  round : int;
+  n : int;
+  env : 'env;
+  intents : (int * 'msg send list) array;
+  inboxes : (int * 'msg) list array;
+  tracker : Corruption.tracker;
+  adv_rng : Bacrypto.Rng.t;
+}
+
+type 'msg action =
+  | Corrupt of int
+  | Remove of { victim : int; index : int }
+  | Inject of { src : int; dst : dest; payload : 'msg }
+
+exception Illegal_action of string
+
+type ('env, 'msg) adversary = {
+  adv_name : string;
+  model : Corruption.model;
+  setup : 'env -> n:int -> budget:int -> rng:Bacrypto.Rng.t -> int list;
+  intervene : ('env, 'msg) view -> 'msg action list;
+}
+
+let passive ~name ~model =
+  { adv_name = name;
+    model;
+    setup = (fun _ ~n:_ ~budget:_ ~rng:_ -> []);
+    intervene = (fun _ -> []) }
+
+type result = {
+  outputs : bool option array;
+  corrupt : bool array;
+  corruptions : int;
+  rounds_used : int;
+  metrics : Metrics.t;
+  all_honest_decided : bool;
+  halt_rounds : int option array;
+}
+
+(* A pending delivery: sender, destination, payload, and whether the
+   adversary has erased it. *)
+type 'msg wire = {
+  w_src : int;
+  mutable w_dst : dest;
+  w_payload : 'msg;
+  mutable erased : bool;
+  honest_origin : bool;
+}
+
+let illegal fmt = Format.kasprintf (fun s -> raise (Illegal_action s)) fmt
+
+let run_env ?(tracer = fun (_ : Trace.event) -> ()) proto ~adversary ~n ~budget ~inputs ~max_rounds ~seed =
+  if Array.length inputs <> n then
+    invalid_arg "Engine.run: inputs length must equal n";
+  let root = Bacrypto.Rng.create seed in
+  let env_rng = Bacrypto.Rng.split_named root "env" in
+  let adv_rng = Bacrypto.Rng.split_named root "adversary" in
+  let env = proto.make_env ~n env_rng in
+  let tracker = Corruption.create ~n ~budget in
+  (* Setup-time (static) corruptions happen before any node runs. *)
+  let initial = adversary.setup env ~n ~budget ~rng:adv_rng in
+  List.iter
+    (fun i ->
+      if i < 0 || i >= n then illegal "setup corruption out of range: %d" i;
+      if not (Corruption.corrupt_now tracker ~round:(-1) i) then
+        illegal "setup corruptions exceed budget";
+      tracer (Trace.Corrupted { round = -1; node = i }))
+    initial;
+  let states =
+    Array.init n (fun me ->
+        let rng = Bacrypto.Rng.split_named root (Printf.sprintf "node-%d" me) in
+        proto.init env ~rng ~n ~me ~input:inputs.(me))
+  in
+  let metrics = Metrics.create ~n in
+  let halt_rounds = Array.make n None in
+  let inboxes = Array.make n [] in
+  let round = ref 0 in
+  let running = ref true in
+  let honest_active () =
+    (* Is any forever-so-far honest node still running? *)
+    let active = ref false in
+    for i = 0 to n - 1 do
+      if (not (Corruption.is_corrupt tracker i)) && not (proto.halted states.(i))
+      then active := true
+    done;
+    !active
+  in
+  while !running && !round < max_rounds do
+    let r = !round in
+    Metrics.note_round metrics r;
+    tracer (Trace.Round_started { round = r });
+    (* Phase 1: honest nodes compute intents. *)
+    let wires = ref [] in
+    let intents = Array.make n [] in
+    for i = 0 to n - 1 do
+      if (not (Corruption.is_corrupt tracker i)) && not (proto.halted states.(i))
+      then begin
+        let state', sends = proto.step env states.(i) ~round:r ~inbox:inboxes.(i) in
+        states.(i) <- state';
+        intents.(i) <- sends;
+        if proto.halted state' && halt_rounds.(i) = None then begin
+          halt_rounds.(i) <- Some r;
+          tracer (Trace.Halted { round = r; node = i; output = proto.output state' })
+        end
+      end
+    done;
+    for i = n - 1 downto 0 do
+      List.iter
+        (fun send ->
+          wires :=
+            { w_src = i;
+              w_dst = send.dst;
+              w_payload = send.payload;
+              erased = false;
+              honest_origin = true }
+            :: !wires)
+        (List.rev intents.(i))
+    done;
+    (* Phase 2: adversary intervention. *)
+    let view =
+      { round = r;
+        n;
+        env;
+        intents = Array.init n (fun i -> (i, intents.(i)));
+        inboxes = Array.copy inboxes;
+        tracker;
+        adv_rng }
+    in
+    let injections = ref [] in
+    let apply = function
+      | Corrupt i ->
+          if i < 0 || i >= n then illegal "corrupt out of range: %d" i;
+          if not (Corruption.allows_dynamic_corruption adversary.model) then
+            illegal "static adversary cannot corrupt mid-execution";
+          if not (Corruption.corrupt_now tracker ~round:r i) then
+            illegal "corruption budget exhausted";
+          tracer (Trace.Corrupted { round = r; node = i })
+      | Remove { victim; index } ->
+          if not (Corruption.allows_removal adversary.model) then
+            illegal "after-the-fact removal requires a strongly adaptive adversary";
+          if not (Corruption.is_corrupt tracker victim) then
+            illegal "cannot remove messages of an honest node (corrupt it first)";
+          let found = ref false and seen = ref 0 in
+          List.iter
+            (fun w ->
+              if w.w_src = victim && w.honest_origin then begin
+                if !seen = index && not !found then begin
+                  if w.erased then illegal "intent already erased";
+                  w.erased <- true;
+                  Metrics.record_removal metrics;
+                  tracer (Trace.Removed { round = r; victim });
+                  found := true
+                end;
+                incr seen
+              end)
+            !wires;
+          if not !found then
+            illegal "no intent %d for node %d in round %d" index victim r
+      | Inject { src; dst; payload } ->
+          if src < 0 || src >= n then illegal "inject src out of range: %d" src;
+          if not (Corruption.is_corrupt tracker src) then
+            illegal "only corrupt nodes can be driven by the adversary";
+          Metrics.record_injection metrics ~bits:(proto.msg_bits env payload);
+          tracer
+            (Trace.Injected
+               { round = r;
+                 src;
+                 recipients =
+                   (match dst with All -> n | Only targets -> List.length targets) });
+          injections :=
+            { w_src = src; w_dst = dst; w_payload = payload; erased = false;
+              honest_origin = false }
+            :: !injections
+    in
+    List.iter apply (adversary.intervene view);
+    (* Phase 3: account and deliver. Honest sends are counted per
+       Definition 7 even when erased: the node was honest when it sent
+       the message, so it counts toward honest communication — erasure
+       only affects delivery. *)
+    let all_wires = List.rev_append !injections (List.rev !wires) in
+    List.iter
+      (fun w ->
+        if w.honest_origin then begin
+          (match w.w_dst with
+          | All ->
+              Metrics.record_honest_multicast metrics
+                ~bits:(proto.msg_bits env w.w_payload)
+          | Only targets ->
+              Metrics.record_honest_unicast metrics
+                ~recipients:(List.length targets)
+                ~bits:(proto.msg_bits env w.w_payload));
+          if not w.erased then
+            tracer
+              (Trace.Sent
+                 { round = r;
+                   node = w.w_src;
+                   multicast = (w.w_dst = All);
+                   recipients =
+                     (match w.w_dst with
+                     | All -> n
+                     | Only targets -> List.length targets) })
+        end)
+      all_wires;
+    let next = Array.make n [] in
+    List.iter
+      (fun w ->
+        if not w.erased then
+          match w.w_dst with
+          | All ->
+              for j = 0 to n - 1 do
+                next.(j) <- (w.w_src, w.w_payload) :: next.(j)
+              done
+          | Only targets ->
+              List.iter
+                (fun j ->
+                  if j >= 0 && j < n then
+                    next.(j) <- (w.w_src, w.w_payload) :: next.(j))
+                targets)
+      all_wires;
+    for j = 0 to n - 1 do
+      inboxes.(j) <- List.rev next.(j)
+    done;
+    incr round;
+    if not (honest_active ()) then running := false
+  done;
+  let outputs = Array.map proto.output states in
+  let corrupt = Array.init n (Corruption.is_corrupt tracker) in
+  let all_honest_decided =
+    let ok = ref true in
+    for i = 0 to n - 1 do
+      if not corrupt.(i) then
+        if not (proto.halted states.(i)) || outputs.(i) = None then ok := false
+    done;
+    !ok
+  in
+  ( env,
+    { outputs;
+      corrupt;
+      corruptions = Corruption.count tracker;
+      rounds_used = !round;
+      metrics;
+      all_honest_decided;
+      halt_rounds } )
+
+let run ?tracer proto ~adversary ~n ~budget ~inputs ~max_rounds ~seed =
+  snd (run_env ?tracer proto ~adversary ~n ~budget ~inputs ~max_rounds ~seed)

@@ -1,0 +1,154 @@
+(** Synchronous round-based execution engine — a direct implementation of
+    the protocol-execution model of the paper's Appendix A.1.
+
+    One execution runs [n] Interactive-Turing-Machine-style nodes in
+    lockstep rounds over a synchronous network (Δ = 1: anything an honest
+    node sends in round [r] is delivered to every honest recipient at the
+    beginning of round [r+1]). Channels are authenticated: the engine
+    stamps the true sender on every delivery, so corrupt nodes cannot
+    spoof honest identities — but they {e can} equivocate by targeting
+    different messages at different recipient sets.
+
+    Each round:
+
+    + every so-far-honest, not-yet-halted node computes its {b intents}
+      (the sends it wants to perform) from its state and inbox;
+    + the {b adversary intervenes}: it observes all intents and may
+      (subject to its {!Corruption.model} and budget) corrupt nodes,
+      erase intents (strongly-adaptive only, and only intents of nodes
+      corrupt by the end of the intervention — "after-the-fact removal"),
+      and inject messages from corrupt nodes;
+    + surviving sends are delivered at the start of the next round.
+
+    A node corrupted in round [r] keeps its round-[r] intents on the wire
+    (unless the adversary is strongly adaptive and erases them), stops
+    executing the honest protocol from round [r+1] on, and is henceforth
+    driven entirely by adversary injections — exactly the
+    "cannot retract, but can send additional messages" rule of the paper.
+
+    Protocols and adversaries are plain records of functions, polymorphic
+    in the protocol's environment ([_ env]), per-node state, and message
+    type, so one engine runs every protocol in the repository. *)
+
+type dest =
+  | All                (** multicast to everyone (including the sender) *)
+  | Only of int list   (** targeted send (pairwise-channel protocols and
+                           corrupt equivocation) *)
+
+type 'msg send = { dst : dest; payload : 'msg }
+
+val multicast : 'msg -> 'msg send
+(** [multicast m] is [{ dst = All; payload = m }]. *)
+
+(** A protocol, as run by honest nodes. *)
+type ('env, 'state, 'msg) protocol = {
+  proto_name : string;
+  make_env : n:int -> Bacrypto.Rng.t -> 'env;
+      (** Trusted setup (PKI, CRSs, public coins). Runs once per
+          execution, before the adversary acts. *)
+  init : 'env -> rng:Bacrypto.Rng.t -> n:int -> me:int -> input:bool -> 'state;
+      (** Per-node initialization with the node's input bit. *)
+  step :
+    'env ->
+    'state ->
+    round:int ->
+    inbox:(int * 'msg) list ->
+    'state * 'msg send list;
+      (** One synchronous round: consume the inbox (pairs of authenticated
+          sender and message), update state, emit sends. *)
+  output : 'state -> bool option;
+      (** The node's decision, if any. *)
+  halted : 'state -> bool;
+      (** [true] once the node has terminated (no further [step] calls). *)
+  msg_bits : 'env -> 'msg -> int;
+      (** Wire size of a message, for the metrics. *)
+}
+
+(** What the adversary is shown when it intervenes in a round. *)
+type ('env, 'msg) view = {
+  round : int;
+  n : int;
+  env : 'env;
+  intents : (int * 'msg send list) array;
+      (** This round's honest sends, by node, before delivery. *)
+  inboxes : (int * 'msg) list array;
+      (** What was delivered to each node at the start of this round. The
+          adversary may read only corrupt nodes' inboxes plus the public
+          content of honest multicasts — enforced by review discipline in
+          the attack implementations (everything here was multicast, so in
+          the multicast model the adversary sees it all anyway). *)
+  tracker : Corruption.tracker;
+  adv_rng : Bacrypto.Rng.t;
+}
+
+type 'msg action =
+  | Corrupt of int
+      (** Corrupt a node now. Illegal for [Static] after setup; consumes
+          budget. *)
+  | Remove of { victim : int; index : int }
+      (** Erase intent [index] of node [victim] ("after-the-fact
+          removal"). Legal only for [Strongly_adaptive] adversaries and
+          only if [victim] is corrupt at the time this action is
+          processed (so [Corrupt v; Remove …] in one intervention works). *)
+  | Inject of { src : int; dst : dest; payload : 'msg }
+      (** Make corrupt node [src] send a message (possibly targeted —
+          equivocation). Legal only if [src] is corrupt. *)
+
+exception Illegal_action of string
+(** Raised when an adversary attempts something its model forbids: the
+    engine is the referee of the corruption model. *)
+
+type ('env, 'msg) adversary = {
+  adv_name : string;
+  model : Corruption.model;
+  setup : 'env -> n:int -> budget:int -> rng:Bacrypto.Rng.t -> int list;
+      (** Pre-execution (static) corruptions; the only corruption chance
+          for a [Static] adversary. *)
+  intervene : ('env, 'msg) view -> 'msg action list;
+      (** Mid-round intervention; actions are applied in order. *)
+}
+
+val passive : name:string -> model:Corruption.model -> ('env, 'msg) adversary
+(** An adversary that corrupts no one and does nothing. *)
+
+type result = {
+  outputs : bool option array;
+  corrupt : bool array;
+  corruptions : int;            (** number of corrupted nodes *)
+  rounds_used : int;
+  metrics : Metrics.t;
+  all_honest_decided : bool;    (** every forever-honest node halted with
+                                    an output within [max_rounds] *)
+  halt_rounds : int option array;
+      (** per node, the round in which it halted — the Lemma-10
+          terminate-cascade experiment measures the spread of these *)
+}
+
+val run :
+  ?tracer:(Trace.event -> unit) ->
+  ('env, 'state, 'msg) protocol ->
+  adversary:('env, 'msg) adversary ->
+  n:int ->
+  budget:int ->
+  inputs:bool array ->
+  max_rounds:int ->
+  seed:int64 ->
+  result
+(** Execute one run. Deterministic in [seed]. [tracer] receives one
+    {!Trace.event} per send/corruption/removal/injection/halt.
+    @raise Invalid_argument if [Array.length inputs <> n].
+    @raise Illegal_action if the adversary violates its model. *)
+
+val run_env :
+  ?tracer:(Trace.event -> unit) ->
+  ('env, 'state, 'msg) protocol ->
+  adversary:('env, 'msg) adversary ->
+  n:int ->
+  budget:int ->
+  inputs:bool array ->
+  max_rounds:int ->
+  seed:int64 ->
+  'env * result
+(** Like {!run} but also returns the protocol environment, so experiments
+    can inspect shared state after the fact (e.g. [Fmine] mining
+    statistics for the committee-concentration experiment E7). *)

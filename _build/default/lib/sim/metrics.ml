@@ -1,0 +1,59 @@
+type t = {
+  n : int;
+  mutable multicasts : int;
+  mutable multicast_bits : int;
+  mutable unicasts : int;
+  mutable unicast_bits : int;
+  mutable removals : int;
+  mutable injections : int;
+  mutable injection_bits : int;
+  mutable max_round : int;
+}
+
+let create ~n =
+  { n;
+    multicasts = 0;
+    multicast_bits = 0;
+    unicasts = 0;
+    unicast_bits = 0;
+    removals = 0;
+    injections = 0;
+    injection_bits = 0;
+    max_round = -1 }
+
+let record_honest_multicast t ~bits =
+  t.multicasts <- t.multicasts + 1;
+  t.multicast_bits <- t.multicast_bits + bits
+
+let record_honest_unicast t ~recipients ~bits =
+  t.unicasts <- t.unicasts + recipients;
+  t.unicast_bits <- t.unicast_bits + (recipients * bits)
+
+let record_removal t = t.removals <- t.removals + 1
+
+let record_injection t ~bits =
+  t.injections <- t.injections + 1;
+  t.injection_bits <- t.injection_bits + bits
+
+let note_round t r = if r > t.max_round then t.max_round <- r
+
+let honest_multicasts t = t.multicasts
+
+let honest_multicast_bits t = t.multicast_bits
+
+let honest_unicasts t = t.unicasts
+
+let classical_messages t = (t.multicasts * t.n) + t.unicasts
+
+let classical_bits t = (t.multicast_bits * t.n) + t.unicast_bits
+
+let removals t = t.removals
+
+let injections t = t.injections
+
+let rounds t = t.max_round + 1
+
+let pp fmt t =
+  Format.fprintf fmt
+    "rounds=%d multicasts=%d (%d bits) unicasts=%d removals=%d injections=%d"
+    (rounds t) t.multicasts t.multicast_bits t.unicasts t.removals t.injections

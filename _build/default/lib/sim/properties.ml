@@ -1,0 +1,54 @@
+type verdict = { consistent : bool; valid : bool; terminated : bool }
+
+let ok v = v.consistent && v.valid && v.terminated
+
+let honest_outputs (result : Engine.result) =
+  let acc = ref [] in
+  Array.iteri
+    (fun i out ->
+      if not result.Engine.corrupt.(i) then acc := (i, out) :: !acc)
+    result.Engine.outputs;
+  List.rev !acc
+
+let consistency result =
+  let outputs = honest_outputs result in
+  let decided = List.filter_map (fun (_, o) -> o) outputs in
+  match decided with
+  | [] -> true
+  | first :: rest -> List.for_all (fun b -> b = first) rest
+
+let termination result = result.Engine.all_honest_decided
+
+let agreement ~inputs result =
+  let honest = honest_outputs result in
+  let honest_inputs =
+    List.map (fun (i, _) -> inputs.(i)) honest
+  in
+  let unanimous =
+    match honest_inputs with
+    | [] -> None
+    | b :: rest -> if List.for_all (fun x -> x = b) rest then Some b else None
+  in
+  let valid =
+    match unanimous with
+    | None -> true
+    | Some b ->
+        List.for_all
+          (fun (_, out) -> match out with None -> true | Some o -> o = b)
+          honest
+  in
+  { consistent = consistency result; valid; terminated = termination result }
+
+let broadcast ~sender ~input result =
+  let valid =
+    if result.Engine.corrupt.(sender) then true
+    else
+      List.for_all
+        (fun (_, out) -> match out with None -> true | Some o -> o = input)
+        (honest_outputs result)
+  in
+  { consistent = consistency result; valid; terminated = termination result }
+
+let pp fmt v =
+  Format.fprintf fmt "consistent=%b valid=%b terminated=%b" v.consistent
+    v.valid v.terminated

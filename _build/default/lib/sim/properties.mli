@@ -1,0 +1,29 @@
+(** Security-property checking on execution results (Appendix A.2).
+
+    All predicates quantify over {e forever-honest} nodes only — nodes that
+    were never corrupted — exactly as in the paper's definitions. *)
+
+type verdict = {
+  consistent : bool;
+      (** Consistency: all forever-honest outputs are equal. *)
+  valid : bool;
+      (** Validity, per the chosen flavour (see below). *)
+  terminated : bool;
+      (** Tend-termination: every forever-honest node halted with an
+          output within the round limit. *)
+}
+
+val ok : verdict -> bool
+(** All three properties hold. *)
+
+val agreement : inputs:bool array -> Engine.result -> verdict
+(** Agreement-version BA: validity requires that {e if} all forever-honest
+    nodes received the same input bit [b], they all output [b]; vacuous
+    otherwise. *)
+
+val broadcast : sender:int -> input:bool -> Engine.result -> verdict
+(** Broadcast version: validity requires that if the designated [sender]
+    is forever-honest, every forever-honest output equals [input];
+    vacuous if the sender was corrupted. *)
+
+val pp : Format.formatter -> verdict -> unit

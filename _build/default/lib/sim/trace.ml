@@ -1,0 +1,62 @@
+type event =
+  | Round_started of { round : int }
+  | Sent of { round : int; node : int; multicast : bool; recipients : int }
+  | Corrupted of { round : int; node : int }
+  | Removed of { round : int; victim : int }
+  | Injected of { round : int; src : int; recipients : int }
+  | Halted of { round : int; node : int; output : bool option }
+
+let pp_event fmt = function
+  | Round_started { round } -> Format.fprintf fmt "-- round %d --" round
+  | Sent { node; multicast; recipients; _ } ->
+      if multicast then Format.fprintf fmt "node %d multicasts" node
+      else Format.fprintf fmt "node %d sends to %d nodes" node recipients
+  | Corrupted { round; node } ->
+      if round < 0 then Format.fprintf fmt "node %d corrupted at setup" node
+      else Format.fprintf fmt "node %d corrupted" node
+  | Removed { victim; _ } ->
+      Format.fprintf fmt "a message of node %d erased after the fact" victim
+  | Injected { src; recipients; _ } ->
+      Format.fprintf fmt "adversary sends as node %d to %d nodes" src recipients
+  | Halted { node; output; _ } ->
+      Format.fprintf fmt "node %d halts with output %s" node
+        (match output with
+        | Some true -> "1"
+        | Some false -> "0"
+        | None -> "none")
+
+type collector = { mutable rev_events : event list; mutable total : int }
+
+let collector () = { rev_events = []; total = 0 }
+
+let observe c event =
+  c.rev_events <- event :: c.rev_events;
+  c.total <- c.total + 1
+
+let events c = List.rev c.rev_events
+
+let count c p = List.length (List.filter p (events c))
+
+let round_of = function
+  | Round_started { round }
+  | Sent { round; _ }
+  | Corrupted { round; _ }
+  | Removed { round; _ }
+  | Injected { round; _ }
+  | Halted { round; _ } ->
+      round
+
+let render ?(max_rounds = 30) c =
+  let buf = Buffer.create 1024 in
+  let skipped = ref 0 in
+  List.iter
+    (fun e ->
+      if round_of e < max_rounds then
+        Buffer.add_string buf (Format.asprintf "%a\n" pp_event e)
+      else incr skipped)
+    (events c);
+  if !skipped > 0 then
+    Buffer.add_string buf
+      (Printf.sprintf "... %d further events beyond round %d elided\n" !skipped
+         max_rounds);
+  Buffer.contents buf

@@ -1,0 +1,38 @@
+(** Structured execution traces.
+
+    The engine can emit one {!event} per noteworthy occurrence — sends,
+    corruptions, after-the-fact removals, injections, halts — to an
+    observer callback. {!collector} gathers them for inspection
+    (tests, the CLI's [--trace] mode); rendering is message-agnostic so
+    one tracer serves every protocol. *)
+
+type event =
+  | Round_started of { round : int }
+  | Sent of { round : int; node : int; multicast : bool; recipients : int }
+      (** an honest send survived to delivery ([recipients] = n for a
+          multicast) *)
+  | Corrupted of { round : int; node : int }
+      (** [round = -1] for setup-time (static) corruption *)
+  | Removed of { round : int; victim : int }
+      (** an after-the-fact removal of one of [victim]'s sends *)
+  | Injected of { round : int; src : int; recipients : int }
+      (** the adversary made corrupt [src] send a message *)
+  | Halted of { round : int; node : int; output : bool option }
+
+val pp_event : Format.formatter -> event -> unit
+
+type collector
+
+val collector : unit -> collector
+
+val observe : collector -> event -> unit
+(** The callback to hand to {!Engine.run} via [?tracer]. *)
+
+val events : collector -> event list
+(** All observed events, in order. *)
+
+val count : collector -> (event -> bool) -> int
+
+val render : ?max_rounds:int -> collector -> string
+(** Human-readable, per-round digest of the trace (rounds beyond
+    [max_rounds] are summarized). *)

@@ -1,0 +1,1 @@
+lib/stats/histogram.ml: Buffer Int List Map Option Printf String

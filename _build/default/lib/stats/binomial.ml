@@ -1,0 +1,60 @@
+(* log Gamma via Lanczos; enough accuracy for experiment-scale n. *)
+let log_gamma x =
+  let coefficients =
+    [| 76.18009172947146; -86.50532032941677; 24.01409824083091;
+       -1.231739572450155; 0.1208650973866179e-2; -0.5395239384953e-5 |]
+  in
+  let y = ref x in
+  let tmp = x +. 5.5 in
+  let tmp = tmp -. ((x +. 0.5) *. log tmp) in
+  let ser = ref 1.000000000190015 in
+  Array.iter
+    (fun c ->
+      y := !y +. 1.0;
+      ser := !ser +. (c /. !y))
+    coefficients;
+  -.tmp +. log (2.5066282746310005 *. !ser /. x)
+
+let log_choose n k =
+  if k < 0 || k > n then invalid_arg "Binomial.log_choose";
+  if k = 0 || k = n then 0.0
+  else
+    log_gamma (float_of_int (n + 1))
+    -. log_gamma (float_of_int (k + 1))
+    -. log_gamma (float_of_int (n - k + 1))
+
+let pmf ~n ~p k =
+  if k < 0 || k > n then 0.0
+  else if p <= 0.0 then if k = 0 then 1.0 else 0.0
+  else if p >= 1.0 then if k = n then 1.0 else 0.0
+  else
+    exp
+      (log_choose n k
+      +. (float_of_int k *. log p)
+      +. (float_of_int (n - k) *. log (1.0 -. p)))
+
+let cdf ~n ~p k =
+  if k < 0 then 0.0
+  else if k >= n then 1.0
+  else begin
+    let acc = ref 0.0 in
+    for j = 0 to k do
+      acc := !acc +. pmf ~n ~p j
+    done;
+    min 1.0 !acc
+  end
+
+let upper_tail ~n ~p k =
+  if k <= 0 then 1.0 else 1.0 -. cdf ~n ~p (k - 1)
+
+let wilson_interval ~successes ~trials ~z =
+  if trials <= 0 then invalid_arg "Binomial.wilson_interval";
+  let n = float_of_int trials in
+  let phat = float_of_int successes /. n in
+  let z2 = z *. z in
+  let denom = 1.0 +. (z2 /. n) in
+  let center = (phat +. (z2 /. (2.0 *. n))) /. denom in
+  let half =
+    z *. sqrt ((phat *. (1.0 -. phat) /. n) +. (z2 /. (4.0 *. n *. n))) /. denom
+  in
+  (max 0.0 (center -. half), min 1.0 (center +. half))

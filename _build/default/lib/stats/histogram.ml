@@ -1,0 +1,38 @@
+module Imap = Map.Make (Int)
+
+type t = { mutable counts : int Imap.t; mutable total : int }
+
+let create () = { counts = Imap.empty; total = 0 }
+
+let add t v =
+  t.counts <-
+    Imap.update v (function None -> Some 1 | Some c -> Some (c + 1)) t.counts;
+  t.total <- t.total + 1
+
+let add_many t vs = List.iter (add t) vs
+
+let count t v = match Imap.find_opt v t.counts with None -> 0 | Some c -> c
+
+let total t = t.total
+
+let bins t = Imap.bindings t.counts
+
+let mode t =
+  Imap.fold
+    (fun v c best ->
+      match best with
+      | Some (_, bc) when bc >= c -> best
+      | _ -> Some (v, c))
+    t.counts None
+  |> Option.map fst
+
+let render ?(width = 50) t =
+  let buf = Buffer.create 256 in
+  let max_count = Imap.fold (fun _ c m -> max c m) t.counts 1 in
+  Imap.iter
+    (fun v c ->
+      let bar = c * width / max_count in
+      Buffer.add_string buf
+        (Printf.sprintf "%6d | %s %d\n" v (String.make bar '#') c))
+    t.counts;
+  Buffer.contents buf

@@ -1,0 +1,23 @@
+(** Integer histograms with ASCII rendering, used by the experiment
+    harness to display round-count and committee-size distributions. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> int -> unit
+
+val add_many : t -> int list -> unit
+
+val count : t -> int -> int
+(** Occurrences of a value. *)
+
+val total : t -> int
+
+val bins : t -> (int * int) list
+(** (value, count) pairs, ascending by value. *)
+
+val mode : t -> int option
+
+val render : ?width:int -> t -> string
+(** ASCII bar chart, one line per distinct value. *)

@@ -1,0 +1,61 @@
+type t = {
+  title : string;
+  columns : string list;
+  mutable rows : string list list;
+  mutable notes : string list;
+}
+
+let create ~title ~columns = { title; columns; rows = []; notes = [] }
+
+let add_row t row =
+  if List.length row <> List.length t.columns then
+    invalid_arg "Table.add_row: arity mismatch";
+  t.rows <- row :: t.rows
+
+let add_note t note = t.notes <- note :: t.notes
+
+let render t =
+  let rows = List.rev t.rows in
+  let widths =
+    List.mapi
+      (fun i col ->
+        List.fold_left
+          (fun w row -> max w (String.length (List.nth row i)))
+          (String.length col) rows)
+      t.columns
+  in
+  let pad s w = s ^ String.make (w - String.length s) ' ' in
+  let line = String.concat "-+-" (List.map (fun w -> String.make w '-') widths) in
+  let render_row cells =
+    String.concat " | " (List.map2 pad cells widths)
+  in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (Printf.sprintf "== %s ==\n" t.title);
+  Buffer.add_string buf (render_row t.columns ^ "\n");
+  Buffer.add_string buf (line ^ "\n");
+  List.iter (fun row -> Buffer.add_string buf (render_row row ^ "\n")) rows;
+  List.iter
+    (fun note -> Buffer.add_string buf ("  note: " ^ note ^ "\n"))
+    (List.rev t.notes);
+  Buffer.contents buf
+
+let print t = print_string (render t)
+
+let fmt_float v =
+  if Float.is_integer v && abs_float v < 1e9 then
+    Printf.sprintf "%.0f" v
+  else if abs_float v >= 1000.0 then Printf.sprintf "%.0f" v
+  else if abs_float v >= 10.0 then Printf.sprintf "%.1f" v
+  else Printf.sprintf "%.3f" v
+
+let fmt_int n =
+  let s = string_of_int (abs n) in
+  let len = String.length s in
+  let buf = Buffer.create (len + (len / 3)) in
+  if n < 0 then Buffer.add_char buf '-';
+  String.iteri
+    (fun i c ->
+      if i > 0 && (len - i) mod 3 = 0 then Buffer.add_char buf ',';
+      Buffer.add_char buf c)
+    s;
+  Buffer.contents buf

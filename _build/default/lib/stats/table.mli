@@ -1,0 +1,23 @@
+(** Plain-text table rendering for the experiment harness. Every
+    experiment prints one of these; EXPERIMENTS.md embeds the output. *)
+
+type t
+
+val create : title:string -> columns:string list -> t
+
+val add_row : t -> string list -> unit
+(** @raise Invalid_argument if the row arity differs from the columns. *)
+
+val add_note : t -> string -> unit
+(** Free-form footnote printed under the table. *)
+
+val render : t -> string
+
+val print : t -> unit
+(** [render] to stdout. *)
+
+val fmt_float : float -> string
+(** Compact float formatting used across experiment tables. *)
+
+val fmt_int : int -> string
+(** Thousands-separated integer. *)

@@ -1,0 +1,1 @@
+test/test_crypto.ml: Alcotest Array Bacrypto Bytes Char Commitment Forward_secure Gen Hmac List Nizk Pki Prf Printf QCheck QCheck_alcotest Rng Selective_opening Sha256 Signature String Test Vrf

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Bacore Baexperiments Basim Bastats List String

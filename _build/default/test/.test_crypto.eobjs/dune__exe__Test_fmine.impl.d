@@ -1,0 +1,1 @@
+test/test_fmine.ml: Alcotest Bacrypto Bafmine Compiler Eligibility Fmine Gen List Printf QCheck QCheck_alcotest Test

@@ -1,0 +1,1 @@
+test/test_fmine.mli:

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Basim Corruption Engine Format Gen List Metrics Properties QCheck QCheck_alcotest Scenario String Test Trace

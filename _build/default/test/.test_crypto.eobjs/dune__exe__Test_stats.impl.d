@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Bacrypto Bastats Binomial Chernoff Gen Histogram List Printf QCheck QCheck_alcotest String Summary Table Test

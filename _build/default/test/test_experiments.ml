@@ -1,0 +1,76 @@
+(* Smoke tests for the experiment suite: every experiment must execute at
+   low repetitions, produce non-empty tables, and — where the claim is
+   sharp enough to assert — reproduce the paper's direction. *)
+
+let tables_of entry = entry.Baexperiments.All.run ~reps:2 ()
+
+let test_all_experiments_execute () =
+  List.iter
+    (fun entry ->
+      let tables = tables_of entry in
+      Alcotest.(check bool)
+        (entry.Baexperiments.All.id ^ " produces tables")
+        true
+        (tables <> []);
+      List.iter
+        (fun t ->
+          let rendered = Bastats.Table.render t in
+          Alcotest.(check bool)
+            (entry.Baexperiments.All.id ^ " table non-empty")
+            true
+            (String.length rendered > 40))
+        tables)
+    Baexperiments.All.experiments
+
+let test_experiment_ids_unique () =
+  let ids =
+    List.map (fun e -> e.Baexperiments.All.id) Baexperiments.All.experiments
+  in
+  Alcotest.(check int) "ids unique" (List.length ids)
+    (List.length (List.sort_uniq compare ids))
+
+let test_run_one_dispatch () =
+  (* run_one must find experiments case-insensitively and reject unknowns.
+     Use E6, the cheapest. *)
+  Alcotest.(check bool) "e6 found" true (Baexperiments.All.run_one ~quick:true "e6");
+  Alcotest.(check bool) "unknown rejected" false
+    (Baexperiments.All.run_one ~quick:true "E42")
+
+let test_common_measure_counts () =
+  let rates =
+    Baexperiments.Common.measure ~reps:4 ~seed:1L (fun seed ->
+        let inputs = Basim.Scenario.unanimous_inputs ~n:7 true in
+        let proto = Bacore.Warmup_third.protocol ~params:(Bacore.Params.make ~lambda:10 ~max_epochs:6 ()) in
+        let result =
+          Basim.Engine.run proto
+            ~adversary:(Basim.Engine.passive ~name:"p" ~model:Basim.Corruption.Adaptive)
+            ~n:7 ~budget:0 ~inputs ~max_rounds:20 ~seed
+        in
+        (result, Basim.Properties.agreement ~inputs result))
+  in
+  Alcotest.(check int) "trials" 4 rates.Baexperiments.Common.trials;
+  Alcotest.(check int) "no failures" 0 rates.Baexperiments.Common.consistency_fail;
+  Alcotest.(check bool) "rounds positive" true
+    (rates.Baexperiments.Common.mean_rounds > 0.0)
+
+let test_common_seed_derivation () =
+  let a = Baexperiments.Common.seed_of 1L 0 in
+  let b = Baexperiments.Common.seed_of 1L 1 in
+  let a' = Baexperiments.Common.seed_of 1L 0 in
+  Alcotest.(check int64) "stable" a a';
+  Alcotest.(check bool) "distinct" true (a <> b)
+
+let test_rate_formatting () =
+  Alcotest.(check string) "rate" "1/4 (25.0%)" (Baexperiments.Common.rate 1 4);
+  Alcotest.(check string) "pct" "50.0%" (Baexperiments.Common.pct 0.5)
+
+let () =
+  Alcotest.run "experiments"
+    [ ( "suite",
+        [ Alcotest.test_case "all execute" `Slow test_all_experiments_execute;
+          Alcotest.test_case "ids unique" `Quick test_experiment_ids_unique;
+          Alcotest.test_case "run_one dispatch" `Quick test_run_one_dispatch ] );
+      ( "common",
+        [ Alcotest.test_case "measure" `Quick test_common_measure_counts;
+          Alcotest.test_case "seed derivation" `Quick test_common_seed_derivation;
+          Alcotest.test_case "formatting" `Quick test_rate_formatting ] ) ]

@@ -1,0 +1,242 @@
+(* Tests for the Fmine ideal functionality, the eligibility interface, and
+   the Appendix-D compiler. *)
+
+open Bafmine
+
+let fresh_fmine seed = Fmine.create (Bacrypto.Rng.create seed)
+
+(* --- Fmine (Figure 1) -------------------------------------------------- *)
+
+let test_mine_memoized () =
+  let f = fresh_fmine 1L in
+  let first = Fmine.mine f ~node:3 ~msg:"Vote:1:0" ~p:0.5 in
+  for _ = 1 to 10 do
+    Alcotest.(check bool) "same answer" first (Fmine.mine f ~node:3 ~msg:"Vote:1:0" ~p:0.5)
+  done;
+  Alcotest.(check int) "one attempt recorded" 1 (Fmine.attempts f)
+
+let test_mine_probability_consistency () =
+  let f = fresh_fmine 2L in
+  ignore (Fmine.mine f ~node:0 ~msg:"m" ~p:0.5);
+  Alcotest.check_raises "changing p rejected"
+    (Invalid_argument "Fmine.mine: same (node, msg) mined with a different p")
+    (fun () -> ignore (Fmine.mine f ~node:0 ~msg:"m" ~p:0.25))
+
+let test_verify_unmined_is_false () =
+  let f = fresh_fmine 3L in
+  Alcotest.(check bool) "unattempted mine verifies false" false
+    (Fmine.verify f ~node:7 ~msg:"never-mined")
+
+let test_verify_matches_mine () =
+  let f = fresh_fmine 4L in
+  for node = 0 to 20 do
+    let outcome = Fmine.mine f ~node ~msg:"Commit:2:1" ~p:0.4 in
+    Alcotest.(check bool) "verify = mine" outcome
+      (Fmine.verify f ~node ~msg:"Commit:2:1")
+  done
+
+let test_mine_rate () =
+  let f = fresh_fmine 5L in
+  let n = 20_000 in
+  let hits = ref 0 in
+  for i = 0 to n - 1 do
+    if Fmine.mine f ~node:i ~msg:"rate-test" ~p:0.1 then incr hits
+  done;
+  let rate = float_of_int !hits /. float_of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "rate %.4f near 0.1" rate)
+    true
+    (abs_float (rate -. 0.1) < 0.01);
+  Alcotest.(check int) "successes tracked" !hits (Fmine.successes f)
+
+let test_mine_independent_across_messages () =
+  (* The coins for (node, m) and (node, m') are independent — this is the
+     bit-specific-eligibility property at the Fmine level: node 3's coin
+     for ACK of bit 0 says nothing about its coin for bit 1. *)
+  let f = fresh_fmine 6L in
+  let agree = ref 0 and n = 2000 in
+  for node = 0 to n - 1 do
+    let a = Fmine.mine f ~node ~msg:"ACK:1:0" ~p:0.5 in
+    let b = Fmine.mine f ~node ~msg:"ACK:1:1" ~p:0.5 in
+    if a = b then incr agree
+  done;
+  let rate = float_of_int !agree /. float_of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "agreement rate %.3f near 0.5" rate)
+    true
+    (abs_float (rate -. 0.5) < 0.05)
+
+(* --- Eligibility (hybrid world) ---------------------------------------- *)
+
+let test_hybrid_mine_verify_roundtrip () =
+  let elig = Eligibility.hybrid (fresh_fmine 7L) in
+  let found = ref false in
+  for node = 0 to 50 do
+    match elig.Eligibility.mine ~node ~msg:"Vote:1:1" ~p:0.3 with
+    | Some cred ->
+        found := true;
+        Alcotest.(check bool) "credential verifies" true
+          (elig.Eligibility.verify ~node ~msg:"Vote:1:1" ~p:0.3 cred);
+        Alcotest.(check int) "zero wire bits" 0
+          (elig.Eligibility.credential_bits cred)
+    | None ->
+        Alcotest.(check bool) "ineligible node cannot claim" false
+          (elig.Eligibility.verify ~node ~msg:"Vote:1:1" ~p:0.3
+             Eligibility.Ideal_ticket)
+  done;
+  Alcotest.(check bool) "some node won with p=0.3 over 51 nodes" true !found
+
+let test_hybrid_rejects_unmined_claim () =
+  let elig = Eligibility.hybrid (fresh_fmine 8L) in
+  Alcotest.(check bool) "claim without mine rejected" false
+    (elig.Eligibility.verify ~node:5 ~msg:"Vote:9:0" ~p:0.9
+       Eligibility.Ideal_ticket)
+
+let test_mining_msg_encoding () =
+  Alcotest.(check string) "bit-specific" "ACK:3:1"
+    (Eligibility.mining_msg ~tag:"ACK" ~iter:3 ~bit:(Some true));
+  Alcotest.(check string) "bit 0" "ACK:3:0"
+    (Eligibility.mining_msg ~tag:"ACK" ~iter:3 ~bit:(Some false));
+  Alcotest.(check string) "bit-agnostic" "ACK:3"
+    (Eligibility.mining_msg ~tag:"ACK" ~iter:3 ~bit:None)
+
+(* --- Compiler (Appendix D) --------------------------------------------- *)
+
+let fresh_pki ~n seed = Bacrypto.Pki.setup ~n (Bacrypto.Rng.create seed)
+
+let test_real_world_roundtrip () =
+  let pki = fresh_pki ~n:30 9L in
+  let elig = Compiler.real_world pki in
+  let wins = ref 0 in
+  for node = 0 to 29 do
+    match elig.Eligibility.mine ~node ~msg:"Vote:2:0" ~p:0.5 with
+    | Some cred ->
+        incr wins;
+        Alcotest.(check bool) "vrf credential verifies" true
+          (elig.Eligibility.verify ~node ~msg:"Vote:2:0" ~p:0.5 cred);
+        Alcotest.(check bool) "credential has wire cost" true
+          (elig.Eligibility.credential_bits cred > 0)
+    | None -> ()
+  done;
+  Alcotest.(check bool) "roughly half win at p=0.5" true (!wins > 5 && !wins < 25)
+
+let test_real_world_rejects_stolen_credential () =
+  let pki = fresh_pki ~n:4 10L in
+  let elig = Compiler.real_world pki in
+  (* Find a winning node and try to replay its credential as another node. *)
+  let rec find node =
+    if node >= 4 then None
+    else
+      match elig.Eligibility.mine ~node ~msg:"Vote:1:1" ~p:0.99 with
+      | Some cred -> Some (node, cred)
+      | None -> find (node + 1)
+  in
+  match find 0 with
+  | None -> Alcotest.fail "no winner at p=0.99"
+  | Some (node, cred) ->
+      let thief = (node + 1) mod 4 in
+      Alcotest.(check bool) "replay under other identity rejected" false
+        (elig.Eligibility.verify ~node:thief ~msg:"Vote:1:1" ~p:0.99 cred)
+
+let test_real_world_rejects_wrong_message () =
+  let pki = fresh_pki ~n:4 11L in
+  let elig = Compiler.real_world pki in
+  match elig.Eligibility.mine ~node:0 ~msg:"Vote:1:1" ~p:0.99 with
+  | None -> Alcotest.fail "should win at p=0.99"
+  | Some cred ->
+      Alcotest.(check bool) "credential bound to message" false
+        (elig.Eligibility.verify ~node:0 ~msg:"Vote:2:1" ~p:0.99 cred)
+
+let test_real_world_rejects_above_difficulty () =
+  let pki = fresh_pki ~n:4 12L in
+  let elig = Compiler.real_world pki in
+  match elig.Eligibility.mine ~node:0 ~msg:"m" ~p:1.0 with
+  | None -> Alcotest.fail "p=1 always wins"
+  | Some cred ->
+      (* The same credential claimed at a (much) harder difficulty fails
+         unless the output also clears that difficulty. *)
+      let accepted = elig.Eligibility.verify ~node:0 ~msg:"m" ~p:1e-12 cred in
+      Alcotest.(check bool) "tiny difficulty rejects" false accepted
+
+let test_paired_worlds_agree () =
+  (* The E9 coupling: same lottery in both worlds. *)
+  let pki = fresh_pki ~n:50 13L in
+  let hybrid, real = Compiler.paired pki in
+  for node = 0 to 49 do
+    let msgs = [ "Vote:1:0"; "Vote:1:1"; "Status:2:0"; "Terminate:1" ] in
+    List.iter
+      (fun msg ->
+        let h = hybrid.Eligibility.mine ~node ~msg ~p:0.3 <> None in
+        let r = real.Eligibility.mine ~node ~msg ~p:0.3 <> None in
+        Alcotest.(check bool) (Printf.sprintf "node %d %s" node msg) h r)
+      msgs
+  done
+
+let test_cross_world_credentials_rejected () =
+  let pki = fresh_pki ~n:4 14L in
+  let hybrid, real = Compiler.paired pki in
+  (* An ideal ticket means nothing in the real world and vice versa. *)
+  (match hybrid.Eligibility.mine ~node:0 ~msg:"m" ~p:1.0 with
+  | Some cred ->
+      Alcotest.(check bool) "ideal ticket rejected by real verifier" false
+        (real.Eligibility.verify ~node:0 ~msg:"m" ~p:1.0 cred)
+  | None -> Alcotest.fail "p=1 wins");
+  match real.Eligibility.mine ~node:0 ~msg:"m" ~p:1.0 with
+  | Some cred ->
+      Alcotest.(check bool) "vrf credential rejected by hybrid verifier" false
+        (hybrid.Eligibility.verify ~node:0 ~msg:"m" ~p:1.0 cred)
+  | None -> Alcotest.fail "p=1 wins"
+
+(* --- QCheck properties --------------------------------------------------- *)
+
+let qcheck_tests =
+  let open QCheck in
+  [ Test.make ~name:"fmine deterministic per (node,msg)" ~count:200
+      (triple int64 (int_range 0 100) (string_of_size Gen.(1 -- 30)))
+      (fun (seed, node, msg) ->
+        let f = fresh_fmine seed in
+        let a = Fmine.mine f ~node ~msg ~p:0.5 in
+        let b = Fmine.mine f ~node ~msg ~p:0.5 in
+        a = b);
+    Test.make ~name:"hybrid verify iff mined successfully" ~count:100
+      (pair int64 (int_range 0 50))
+      (fun (seed, node) ->
+        let elig = Eligibility.hybrid (fresh_fmine seed) in
+        let won = elig.Eligibility.mine ~node ~msg:"m" ~p:0.5 <> None in
+        let verified =
+          elig.Eligibility.verify ~node ~msg:"m" ~p:0.5 Eligibility.Ideal_ticket
+        in
+        won = verified);
+    Test.make ~name:"real-world completeness" ~count:40
+      (pair int64 (string_of_size Gen.(1 -- 30)))
+      (fun (seed, msg) ->
+        let pki = fresh_pki ~n:3 seed in
+        let elig = Compiler.real_world pki in
+        match elig.Eligibility.mine ~node:1 ~msg ~p:1.0 with
+        | Some cred -> elig.Eligibility.verify ~node:1 ~msg ~p:1.0 cred
+        | None -> false);
+  ]
+
+let () =
+  let qcheck = List.map QCheck_alcotest.to_alcotest qcheck_tests in
+  Alcotest.run "fmine"
+    [ ( "fmine",
+        [ Alcotest.test_case "memoized" `Quick test_mine_memoized;
+          Alcotest.test_case "p consistency" `Quick test_mine_probability_consistency;
+          Alcotest.test_case "verify unmined false" `Quick test_verify_unmined_is_false;
+          Alcotest.test_case "verify matches mine" `Quick test_verify_matches_mine;
+          Alcotest.test_case "success rate" `Quick test_mine_rate;
+          Alcotest.test_case "independent across messages" `Quick
+            test_mine_independent_across_messages ] );
+      ( "eligibility",
+        [ Alcotest.test_case "hybrid roundtrip" `Quick test_hybrid_mine_verify_roundtrip;
+          Alcotest.test_case "unmined claim rejected" `Quick test_hybrid_rejects_unmined_claim;
+          Alcotest.test_case "mining msg encoding" `Quick test_mining_msg_encoding ] );
+      ( "compiler",
+        [ Alcotest.test_case "real-world roundtrip" `Quick test_real_world_roundtrip;
+          Alcotest.test_case "stolen credential" `Quick test_real_world_rejects_stolen_credential;
+          Alcotest.test_case "wrong message" `Quick test_real_world_rejects_wrong_message;
+          Alcotest.test_case "difficulty enforced" `Quick test_real_world_rejects_above_difficulty;
+          Alcotest.test_case "paired worlds agree" `Quick test_paired_worlds_agree;
+          Alcotest.test_case "cross-world rejected" `Quick test_cross_world_credentials_rejected ] );
+      ("properties", qcheck) ]
