@@ -165,16 +165,83 @@ let crypto_tests =
               (Bafmine.Fmine.mine fmine ~node:(!counter mod 1000)
                  ~msg:"Vote:1:0" ~p:0.1))) ]
 
-let report results =
+let estimates results =
   Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results []
   |> List.sort compare
-  |> List.iter (fun (name, ols) ->
-         let estimate =
+  |> List.map (fun (name, ols) ->
+         let ns =
            match Analyze.OLS.estimates ols with
-           | Some (t :: _) -> Printf.sprintf "%12.0f ns/run" t
-           | Some [] | None -> "(no estimate)"
+           | Some (t :: _) -> Some t
+           | Some [] | None -> None
          in
-         Printf.printf "%-45s %s\n" name estimate)
+         (name, ns))
+
+let report named =
+  List.iter
+    (fun (name, ns) ->
+      let estimate =
+        match ns with
+        | Some t -> Printf.sprintf "%12.0f ns/run" t
+        | None -> "(no estimate)"
+      in
+      Printf.printf "%-45s %s\n" name estimate)
+    named
+
+(* One seeded run per headline scenario, recorded as engine counter
+   summaries in the JSON report: perf numbers are only comparable
+   across commits if the work they measure (rounds, multicasts, bits)
+   is pinned alongside them. *)
+let engine_counter_summaries () =
+  let summarize name (result : Engine.result) =
+    Baobs.Json.Obj
+      [ ("scenario", Baobs.Json.String name);
+        ("rounds_used", Baobs.Json.Int result.Engine.rounds_used);
+        ("corruptions", Baobs.Json.Int result.Engine.corruptions);
+        ("metrics", Metrics.to_json result.Engine.metrics) ]
+  in
+  let eraser_n401 () =
+    let params = Params.make ~lambda:20 ~max_epochs:5 () in
+    let proto = Sub_hm.protocol ~params ~world:`Hybrid in
+    let inputs = Scenario.unanimous_inputs ~n:401 true in
+    Engine.run proto ~adversary:(Baattacks.Eraser.make ()) ~n:401 ~budget:150
+      ~inputs ~max_rounds:40 ~seed:1L
+  in
+  let passive_n401 () =
+    let params = Params.make ~lambda:40 ~max_epochs:60 () in
+    let proto = Sub_hm.protocol ~params ~world:`Hybrid in
+    let inputs = Scenario.split_inputs ~n:401 in
+    Engine.run proto ~adversary:(passive ()) ~n:401 ~budget:0 ~inputs
+      ~max_rounds:250 ~seed:2L
+  in
+  [ summarize "e1.eraser-vs-sub-hm-n401" (eraser_n401 ());
+    summarize "e2.sub-hm-passive-n401" (passive_n401 ()) ]
+
+let bench_json_path = "BENCH_1.json"
+
+let write_bench_json ~quota_s named =
+  let open Baobs.Json in
+  let results =
+    List.map
+      (fun (name, ns) ->
+        Obj
+          [ ("name", String name);
+            ("ns_per_run", match ns with Some t -> Float t | None -> Null) ])
+      named
+  in
+  let json =
+    Obj
+      [ ("schema", String "ba-bench/v1");
+        ("quick", Bool quick);
+        ("quota_s", Float quota_s);
+        ("results", List results);
+        ("engine_counters", List (engine_counter_summaries ())) ]
+  in
+  let oc = open_out bench_json_path in
+  output_string oc (to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "\nwrote %s (%d estimates)\n" bench_json_path
+    (List.length named)
 
 let () =
   print_endline "\n### Bechamel micro/macro benchmarks\n";
@@ -191,5 +258,7 @@ let () =
     Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
   in
   let results = Analyze.all ols Instance.monotonic_clock raw in
-  report results;
+  let named = estimates results in
+  report named;
+  write_bench_json ~quota_s:(if quick then 0.1 else 0.5) named;
   print_endline "\nbench: done"

@@ -86,19 +86,56 @@ let print_result ~label ~inputs result =
 
 (* Each protocol has its own message type, so the dispatch instantiates
    engine, adversary, and printer together. *)
-let dispatch proto adv ~n ~budget ~lambda ~epochs ~inputs_choice ~seed ~trace =
+let dispatch proto adv ~n ~budget ~lambda ~epochs ~inputs_choice ~seed ~trace
+    ~trace_jsonl ~metrics_json ~timings =
   let collector = if trace then Some (Trace.collector ()) else None in
-  let tracer =
-    match collector with
-    | Some c -> Trace.observe c
-    | None -> fun (_ : Trace.event) -> ()
+  let jsonl =
+    Option.map
+      (fun path ->
+        let oc = open_out path in
+        (oc, Trace.jsonl_tracer (Baobs.Jsonl.to_channel oc)))
+      trace_jsonl
   in
+  let tracer e =
+    (match collector with Some c -> Trace.observe c e | None -> ());
+    match jsonl with Some (_, emit) -> emit e | None -> ()
+  in
+  let series =
+    if metrics_json <> None then Some (Baobs.Series.create ~n) else None
+  in
+  if timings then Baobs.Probe.enable ();
   let print_trace () =
     match collector with
     | Some c ->
         print_endline "--- trace ---";
         print_string (Trace.render c)
     | None -> ()
+  in
+  (* Post-run bookkeeping shared by every protocol branch: close the
+     JSONL sink, export metrics + series, print timings. *)
+  let finish ~label (result : Engine.result) =
+    (match jsonl with Some (oc, _) -> close_out oc | None -> ());
+    (match (metrics_json, series) with
+    | Some path, Some s ->
+        let json =
+          Baobs.Json.Obj
+            [ ("protocol", Baobs.Json.String label);
+              ("n", Baobs.Json.Int n);
+              ("budget", Baobs.Json.Int budget);
+              ("seed", Baobs.Json.Int seed);
+              ("rounds_used", Baobs.Json.Int result.Engine.rounds_used);
+              ("metrics", Metrics.to_json result.Engine.metrics);
+              ("series", Baobs.Series.to_json s) ]
+        in
+        let oc = open_out path in
+        output_string oc (Baobs.Json.to_string json);
+        output_char oc '\n';
+        close_out oc
+    | _ -> ());
+    if timings then begin
+      print_endline "--- timings ---";
+      print_string (Baobs.Probe.report ())
+    end
   in
   let params = Params.make ~lambda ~max_epochs:epochs () in
   let seed64 = Int64.of_int seed in
@@ -112,18 +149,21 @@ let dispatch proto adv ~n ~budget ~lambda ~epochs ~inputs_choice ~seed ~trace =
     | A_split | A_equivocator | A_cm_equivocator ->
         Error "this adversary only targets specific protocols"
   in
+  let run_proto proto_rec label adversary =
+    let result =
+      Engine.run ~tracer ?series proto_rec ~adversary ~n ~budget ~inputs
+        ~max_rounds ~seed:seed64
+    in
+    print_trace ();
+    finish ~label result;
+    print_result ~label ~inputs result
+  in
   let run_generic proto_rec label =
     match generic_adv () with
     | Error e ->
         prerr_endline e;
         1
-    | Ok adversary ->
-        let result =
-          Engine.run ~tracer proto_rec ~adversary ~n ~budget ~inputs ~max_rounds
-            ~seed:seed64
-        in
-        print_trace ();
-        print_result ~label ~inputs result
+    | Ok adversary -> run_proto proto_rec label adversary
   in
   match proto with
   | P_warmup -> run_generic (Warmup_third.protocol ~params) "warmup-third"
@@ -159,14 +199,9 @@ let dispatch proto adv ~n ~budget ~lambda ~epochs ~inputs_choice ~seed ~trace =
           prerr_endline e;
           1
       | Ok adversary ->
-          let result =
-            Engine.run ~tracer proto_rec ~adversary ~n ~budget ~inputs
-              ~max_rounds ~seed:seed64
-          in
-          print_trace ();
-          print_result
-            ~label:(if erasure then "chen-micali" else "chen-micali-no-erasure")
-            ~inputs result)
+          run_proto proto_rec
+            (if erasure then "chen-micali" else "chen-micali-no-erasure")
+            adversary)
   | P_sub_third | P_sub_third_agnostic ->
       let mode =
         match proto with
@@ -187,13 +222,7 @@ let dispatch proto adv ~n ~budget ~lambda ~epochs ~inputs_choice ~seed ~trace =
       | Error e ->
           prerr_endline e;
           1
-      | Ok adversary ->
-          let result =
-            Engine.run ~tracer proto_rec ~adversary ~n ~budget ~inputs
-              ~max_rounds ~seed:seed64
-          in
-          print_trace ();
-          print_result ~label:"sub-third" ~inputs result)
+      | Ok adversary -> run_proto proto_rec "sub-third" adversary)
   | P_sub_hm | P_sub_hm_real ->
       let world = match proto with P_sub_hm -> `Hybrid | _ -> `Real in
       let proto_rec = Sub_hm.protocol ~params ~world in
@@ -210,13 +239,7 @@ let dispatch proto adv ~n ~budget ~lambda ~epochs ~inputs_choice ~seed ~trace =
       | Error e ->
           prerr_endline e;
           1
-      | Ok adversary ->
-          let result =
-            Engine.run ~tracer proto_rec ~adversary ~n ~budget ~inputs
-              ~max_rounds ~seed:seed64
-          in
-          print_trace ();
-          print_result ~label:"sub-hm" ~inputs result)
+      | Ok adversary -> run_proto proto_rec "sub-hm" adversary)
 
 let proto_arg =
   Arg.(
@@ -254,8 +277,41 @@ let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"RNG seed.")
 let trace_arg =
   Arg.(value & flag & info [ "trace" ] ~doc:"Print a per-round event trace.")
 
-let main proto adv n budget lambda epochs inputs_choice seed trace =
-  dispatch proto adv ~n ~budget ~lambda ~epochs ~inputs_choice ~seed ~trace
+let trace_jsonl_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-jsonl" ] ~docv:"FILE"
+        ~doc:
+          "Stream the execution trace to $(docv), one JSON object per event \
+           per line.")
+
+let metrics_json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-json" ] ~docv:"FILE"
+        ~doc:
+          "Write run metrics and the per-round × per-node metric series to \
+           $(docv) as JSON.")
+
+let timings_arg =
+  Arg.(
+    value & flag
+    & info [ "timings" ]
+        ~doc:
+          "Enable phase/crypto timers and print a per-probe summary after the \
+           run.")
+
+let main proto adv n budget lambda epochs inputs_choice seed trace trace_jsonl
+    metrics_json timings =
+  try
+    dispatch proto adv ~n ~budget ~lambda ~epochs ~inputs_choice ~seed ~trace
+      ~trace_jsonl ~metrics_json ~timings
+  with Sys_error e ->
+    (* e.g. an unwritable --trace-jsonl / --metrics-json destination *)
+    prerr_endline ("ba_run: " ^ e);
+    1
 
 let cmd =
   let doc = "Run one Byzantine Agreement protocol execution on the simulator" in
@@ -263,6 +319,7 @@ let cmd =
     (Cmd.info "ba_run" ~doc)
     Term.(
       const main $ proto_arg $ adv_arg $ n_arg $ budget_arg $ lambda_arg
-      $ epochs_arg $ inputs_arg $ seed_arg $ trace_arg)
+      $ epochs_arg $ inputs_arg $ seed_arg $ trace_arg $ trace_jsonl_arg
+      $ metrics_json_arg $ timings_arg)
 
 let () = exit (Cmd.eval' cmd)

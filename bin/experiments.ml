@@ -15,7 +15,14 @@ let only =
 let list_flag =
   Arg.(value & flag & info [ "list" ] ~doc:"List experiments and exit.")
 
-let main quick only list_flag =
+let json_path =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"FILE"
+        ~doc:"Also write every produced table to $(docv) as JSON.")
+
+let main quick only list_flag json_path =
   if list_flag then begin
     List.iter
       (fun e ->
@@ -26,10 +33,10 @@ let main quick only list_flag =
   else
     match only with
     | None ->
-        Baexperiments.All.run_all ~quick ();
+        Baexperiments.All.run_all ~quick ?json_path ();
         0
     | Some id ->
-        if Baexperiments.All.run_one ~quick id then 0
+        if Baexperiments.All.run_one ~quick ?json_path id then 0
         else begin
           Printf.eprintf "unknown experiment %S (try --list)\n" id;
           1
@@ -40,6 +47,8 @@ let cmd =
     "Regenerate the evaluation of 'Communication Complexity of Byzantine \
      Agreement, Revisited' (PODC 2019)"
   in
-  Cmd.v (Cmd.info "experiments" ~doc) Term.(const main $ quick $ only $ list_flag)
+  Cmd.v
+    (Cmd.info "experiments" ~doc)
+    Term.(const main $ quick $ only $ list_flag $ json_path)
 
 let () = exit (Cmd.eval' cmd)

@@ -11,13 +11,26 @@ let check_range scheme i =
   if i < 0 || i >= Array.length scheme.keys then
     invalid_arg "Signature: signer out of range"
 
+let p_sign = Baobs.Probe.register "signature.sign"
+
+let p_verify = Baobs.Probe.register "signature.verify"
+
+let mac scheme ~signer msg =
+  Hmac.mac_concat ~key:scheme.keys.(signer) [ "sig"; msg ]
+
 let sign scheme ~signer msg =
   check_range scheme signer;
-  Hmac.mac_concat ~key:scheme.keys.(signer) [ "sig"; msg ]
+  let t0 = Baobs.Probe.start () in
+  let tag = mac scheme ~signer msg in
+  Baobs.Probe.stop p_sign t0;
+  tag
 
 let verify scheme ~signer msg tag =
   check_range scheme signer;
-  Hmac.equal tag (sign scheme ~signer msg)
+  let t0 = Baobs.Probe.start () in
+  let ok = Hmac.equal tag (mac scheme ~signer msg) in
+  Baobs.Probe.stop p_verify t0;
+  ok
 
 let corrupt_key scheme i =
   check_range scheme i;

@@ -58,15 +58,51 @@ let print_entry ?quick entry =
     (fun t ->
       Bastats.Table.print t;
       print_newline ())
-    tables
+    tables;
+  tables
 
-let run_all ?(quick = false) () =
+let table_to_json t =
+  let open Baobs.Json in
+  let strings l = List (List.map (fun s -> String s) l) in
+  Obj
+    [ ("title", String (Bastats.Table.title t));
+      ("columns", strings (Bastats.Table.columns t));
+      ( "rows",
+        List (List.map strings (Bastats.Table.rows t)) );
+      ("notes", strings (Bastats.Table.notes t)) ]
+
+let suite_json ~quick entries =
+  Baobs.Json.Obj
+    [ ("suite", Baobs.Json.String "ba-revisited-experiments");
+      ("quick", Baobs.Json.Bool quick);
+      ( "experiments",
+        Baobs.Json.List
+          (List.map
+             (fun (entry, tables) ->
+               Baobs.Json.Obj
+                 [ ("id", Baobs.Json.String entry.id);
+                   ("claim", Baobs.Json.String entry.claim);
+                   ("tables", Baobs.Json.List (List.map table_to_json tables)) ])
+             entries) ) ]
+
+let write_json path json =
+  let oc = open_out path in
+  output_string oc (Baobs.Json.to_string json);
+  output_char oc '\n';
+  close_out oc
+
+let run_all ?(quick = false) ?json_path () =
   print_endline
     "Communication Complexity of Byzantine Agreement, Revisited — experiment \
      suite";
-  List.iter (print_entry ~quick) experiments
+  let entries =
+    List.map (fun entry -> (entry, print_entry ~quick entry)) experiments
+  in
+  match json_path with
+  | Some path -> write_json path (suite_json ~quick entries)
+  | None -> ()
 
-let run_one ?(quick = false) id =
+let run_one ?(quick = false) ?json_path id =
   let target = String.lowercase_ascii id in
   match
     List.find_opt
@@ -74,6 +110,9 @@ let run_one ?(quick = false) id =
       experiments
   with
   | Some entry ->
-      print_entry ~quick entry;
+      let tables = print_entry ~quick entry in
+      (match json_path with
+      | Some path -> write_json path (suite_json ~quick [ (entry, tables) ])
+      | None -> ());
       true
   | None -> false

@@ -12,10 +12,14 @@ type entry = {
 val experiments : entry list
 (** All experiments in presentation order. *)
 
-val run_all : ?quick:bool -> unit -> unit
-(** Execute and print every experiment. [quick] (default false) divides
-    repetition counts for fast smoke runs. *)
+val table_to_json : Bastats.Table.t -> Baobs.Json.t
 
-val run_one : ?quick:bool -> string -> bool
+val run_all : ?quick:bool -> ?json_path:string -> unit -> unit
+(** Execute and print every experiment. [quick] (default false) divides
+    repetition counts for fast smoke runs. [json_path], when given,
+    additionally writes every table as one machine-readable JSON
+    document ([{suite; quick; experiments: [{id; claim; tables}]}]). *)
+
+val run_one : ?quick:bool -> ?json_path:string -> string -> bool
 (** [run_one id] executes just the experiment named [id] (case
     insensitive); returns [false] if no such experiment exists. *)

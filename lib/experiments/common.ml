@@ -46,3 +46,17 @@ let pct p = Printf.sprintf "%.1f%%" (100.0 *. p)
 
 let rate k n =
   Printf.sprintf "%d/%d (%s)" k n (pct (float_of_int k /. float_of_int n))
+
+let rates_to_json r =
+  let open Baobs.Json in
+  Obj
+    [ ("trials", Int r.trials);
+      ("consistency_fail", Int r.consistency_fail);
+      ("validity_fail", Int r.validity_fail);
+      ("termination_fail", Int r.termination_fail);
+      ("mean_rounds", Float r.mean_rounds);
+      ("mean_multicasts", Float r.mean_multicasts);
+      ("mean_multicast_bits", Float r.mean_multicast_bits);
+      ("mean_unicasts", Float r.mean_unicasts);
+      ("mean_removals", Float r.mean_removals);
+      ("mean_corruptions", Float r.mean_corruptions) ]

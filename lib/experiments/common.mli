@@ -32,3 +32,7 @@ val pct : float -> string
 
 val seed_of : int64 -> int -> int64
 (** [seed_of base k] — the k-th derived seed. *)
+
+val rates_to_json : rates -> Baobs.Json.t
+(** Machine-readable form of an aggregated trial block — the JSON twin
+    of every rates-derived table row. *)

@@ -11,7 +11,9 @@ let create rng =
     table = Hashtbl.create 1024;
     successes = 0 }
 
-let mine t ~node ~msg ~p =
+let p_mine = Baobs.Probe.register "fmine.mine"
+
+let mine_unprobed t ~node ~msg ~p =
   match Hashtbl.find_opt t.table (node, msg) with
   | Some r ->
       if r.prob <> p then
@@ -26,6 +28,12 @@ let mine t ~node ~msg ~p =
       Hashtbl.replace t.table (node, msg) { outcome; prob = p };
       if outcome then t.successes <- t.successes + 1;
       outcome
+
+let mine t ~node ~msg ~p =
+  let t0 = Baobs.Probe.start () in
+  let outcome = mine_unprobed t ~node ~msg ~p in
+  Baobs.Probe.stop p_mine t0;
+  outcome
 
 let verify t ~node ~msg =
   match Hashtbl.find_opt t.table (node, msg) with

@@ -1,0 +1,30 @@
+let field s =
+  if
+    String.exists
+      (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r')
+      s
+  then begin
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\""
+        else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+  else s
+
+let row cells = String.concat "," (List.map field cells)
+
+let to_string ~header rows =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (row header);
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun r ->
+      Buffer.add_string buf (row r);
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.contents buf

@@ -1,0 +1,9 @@
+(** RFC-4180-ish CSV writing for metric-series and table exports. *)
+
+val field : string -> string
+(** Quote a cell if it contains a comma, quote, or newline. *)
+
+val row : string list -> string
+
+val to_string : header:string list -> string list list -> string
+(** Header line plus one line per row, each newline-terminated. *)

@@ -1,0 +1,16 @@
+(** Streaming JSON-Lines sink: one compact JSON document per line,
+    written as events arrive (no in-memory accumulation). *)
+
+type t
+
+val to_channel : out_channel -> t
+
+val to_buffer : Buffer.t -> t
+
+val emit : t -> Json.t -> unit
+
+val emitted : t -> int
+(** Number of lines written so far. *)
+
+val flush : t -> unit
+(** Flush the underlying channel (no-op for buffers). *)

@@ -1,0 +1,79 @@
+type t = {
+  name : string;
+  mutable count : int;
+  mutable total_ns : float;
+}
+
+let registry : (string, t) Hashtbl.t = Hashtbl.create 32
+
+let on = ref false
+
+let enable () = on := true
+
+let disable () = on := false
+
+let enabled () = !on
+
+let register name =
+  match Hashtbl.find_opt registry name with
+  | Some p -> p
+  | None ->
+      let p = { name; count = 0; total_ns = 0.0 } in
+      Hashtbl.add registry name p;
+      p
+
+let reset () =
+  Hashtbl.iter
+    (fun _ p ->
+      p.count <- 0;
+      p.total_ns <- 0.0)
+    registry
+
+let now_ns () = Unix.gettimeofday () *. 1e9
+
+let start () = if !on then now_ns () else 0.0
+
+let stop p t0 =
+  if t0 > 0.0 then begin
+    p.count <- p.count + 1;
+    p.total_ns <- p.total_ns +. (now_ns () -. t0)
+  end
+
+let time p f =
+  if !on then begin
+    let t0 = now_ns () in
+    Fun.protect ~finally:(fun () -> stop p t0) f
+  end
+  else f ()
+
+let tick p = if !on then p.count <- p.count + 1
+
+let snapshot () =
+  Hashtbl.fold
+    (fun _ p acc ->
+      if p.count > 0 then (p.name, p.count, p.total_ns) :: acc else acc)
+    registry []
+  |> List.sort compare
+
+let to_json () =
+  Json.List
+    (List.map
+       (fun (name, count, total_ns) ->
+         let mean = if count = 0 then 0.0 else total_ns /. float_of_int count in
+         Json.Obj
+           [ ("name", Json.String name);
+             ("count", Json.Int count);
+             ("total_ns", Json.Float total_ns);
+             ("mean_ns", Json.Float mean) ])
+       (snapshot ()))
+
+let report () =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun (name, count, total_ns) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-24s %10d calls %14.0f ns total %12.1f ns/call\n"
+           name count total_ns
+           (total_ns /. float_of_int count)))
+    (snapshot ());
+  Buffer.contents buf

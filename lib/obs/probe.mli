@@ -1,0 +1,46 @@
+(** Lightweight span/counter registry for phase timers.
+
+    A probe is a named (count, cumulative-ns) pair in a global registry.
+    Instrumented code registers its probes once at module init and wraps
+    hot sections in {!start}/{!stop} (or {!time}); when the registry is
+    disabled — the default — every operation short-circuits on one ref
+    read, so instrumentation left in place costs nothing measurable.
+
+    Timestamps come from [Unix.gettimeofday] (the best clock available
+    without C stubs); spans are wall-clock durations. *)
+
+type t
+
+val register : string -> t
+(** Idempotent by name: registering twice returns the same probe. *)
+
+val enable : unit -> unit
+
+val disable : unit -> unit
+
+val enabled : unit -> bool
+
+val reset : unit -> unit
+(** Zero every probe's count and accumulated time. *)
+
+val start : unit -> float
+(** Span-open timestamp, or [0.] when disabled. *)
+
+val stop : t -> float -> unit
+(** Close a span opened by {!start}; a [0.] token is ignored, so a span
+    opened while disabled never records. *)
+
+val time : t -> (unit -> 'a) -> 'a
+(** [time p f] runs [f] inside a span (records even if [f] raises). *)
+
+val tick : t -> unit
+(** Bump the count without timing. *)
+
+val snapshot : unit -> (string * int * float) list
+(** [(name, count, total_ns)] for every probe with a nonzero count,
+    sorted by name. *)
+
+val to_json : unit -> Json.t
+
+val report : unit -> string
+(** Human-readable table of {!snapshot}. *)

@@ -1,0 +1,34 @@
+type 'a t = {
+  slots : 'a option array;
+  mutable next : int;       (* index of the slot the next add overwrites *)
+  mutable stored : int;     (* number of occupied slots *)
+  mutable dropped : int;    (* adds that evicted an older element *)
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Ring.create: capacity must be positive";
+  { slots = Array.make capacity None; next = 0; stored = 0; dropped = 0 }
+
+let capacity t = Array.length t.slots
+
+let length t = t.stored
+
+let dropped t = t.dropped
+
+let add t x =
+  (match t.slots.(t.next) with
+  | Some _ -> t.dropped <- t.dropped + 1
+  | None -> t.stored <- t.stored + 1);
+  t.slots.(t.next) <- Some x;
+  t.next <- (t.next + 1) mod Array.length t.slots
+
+let to_list t =
+  (* Oldest first: scan [next .. next + capacity) mod capacity. *)
+  let cap = Array.length t.slots in
+  let acc = ref [] in
+  for i = cap - 1 downto 0 do
+    match t.slots.((t.next + i) mod cap) with
+    | Some x -> acc := x :: !acc
+    | None -> ()
+  done;
+  !acc

@@ -1,0 +1,20 @@
+(** Bounded ring buffer: keeps the last [capacity] elements, evicting the
+    oldest on overflow. The memory-bounded alternative to the
+    grow-forever trace collector for long executions. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** @raise Invalid_argument if [capacity <= 0]. *)
+
+val add : 'a t -> 'a -> unit
+
+val to_list : 'a t -> 'a list
+(** Retained elements, oldest first. *)
+
+val length : 'a t -> int
+
+val capacity : 'a t -> int
+
+val dropped : 'a t -> int
+(** Number of elements evicted so far. *)

@@ -71,9 +71,21 @@ type 'msg wire = {
 
 let illegal fmt = Format.kasprintf (fun s -> raise (Illegal_action s)) fmt
 
-let run_env ?(tracer = fun (_ : Trace.event) -> ()) proto ~adversary ~n ~budget ~inputs ~max_rounds ~seed =
+(* Phase timers: disabled (one ref read per span) unless the caller
+   turns the probe registry on. *)
+let p_step = Baobs.Probe.register "engine.honest_step"
+let p_adversary = Baobs.Probe.register "engine.adversary"
+let p_delivery = Baobs.Probe.register "engine.delivery"
+
+let run_env ?(tracer = fun (_ : Trace.event) -> ()) ?series proto ~adversary ~n
+    ~budget ~inputs ~max_rounds ~seed =
   if Array.length inputs <> n then
     invalid_arg "Engine.run: inputs length must equal n";
+  let srec ~round ~node kind by =
+    match series with
+    | Some s -> Baobs.Series.record ~by s ~round ~node kind
+    | None -> ()
+  in
   let root = Bacrypto.Rng.create seed in
   let env_rng = Bacrypto.Rng.split_named root "env" in
   let adv_rng = Bacrypto.Rng.split_named root "adversary" in
@@ -86,6 +98,7 @@ let run_env ?(tracer = fun (_ : Trace.event) -> ()) proto ~adversary ~n ~budget 
       if i < 0 || i >= n then illegal "setup corruption out of range: %d" i;
       if not (Corruption.corrupt_now tracker ~round:(-1) i) then
         illegal "setup corruptions exceed budget";
+      srec ~round:(-1) ~node:i Baobs.Series.Corruption 1;
       tracer (Trace.Corrupted { round = -1; node = i }))
     initial;
   let states =
@@ -112,6 +125,7 @@ let run_env ?(tracer = fun (_ : Trace.event) -> ()) proto ~adversary ~n ~budget 
     Metrics.note_round metrics r;
     tracer (Trace.Round_started { round = r });
     (* Phase 1: honest nodes compute intents. *)
+    let t_step = Baobs.Probe.start () in
     let wires = ref [] in
     let intents = Array.make n [] in
     for i = 0 to n - 1 do
@@ -138,7 +152,9 @@ let run_env ?(tracer = fun (_ : Trace.event) -> ()) proto ~adversary ~n ~budget 
             :: !wires)
         (List.rev intents.(i))
     done;
+    Baobs.Probe.stop p_step t_step;
     (* Phase 2: adversary intervention. *)
+    let t_adv = Baobs.Probe.start () in
     let view =
       { round = r;
         n;
@@ -156,6 +172,7 @@ let run_env ?(tracer = fun (_ : Trace.event) -> ()) proto ~adversary ~n ~budget 
             illegal "static adversary cannot corrupt mid-execution";
           if not (Corruption.corrupt_now tracker ~round:r i) then
             illegal "corruption budget exhausted";
+          srec ~round:r ~node:i Baobs.Series.Corruption 1;
           tracer (Trace.Corrupted { round = r; node = i })
       | Remove { victim; index } ->
           if not (Corruption.allows_removal adversary.model) then
@@ -170,7 +187,17 @@ let run_env ?(tracer = fun (_ : Trace.event) -> ()) proto ~adversary ~n ~budget 
                   if w.erased then illegal "intent already erased";
                   w.erased <- true;
                   Metrics.record_removal metrics;
-                  tracer (Trace.Removed { round = r; victim });
+                  srec ~round:r ~node:victim Baobs.Series.Removal 1;
+                  tracer
+                    (Trace.Removed
+                       { round = r;
+                         victim;
+                         multicast = (w.w_dst = All);
+                         recipients =
+                           (match w.w_dst with
+                           | All -> n
+                           | Only targets -> List.length targets);
+                         bits = proto.msg_bits env w.w_payload });
                   found := true
                 end;
                 incr seen
@@ -182,7 +209,10 @@ let run_env ?(tracer = fun (_ : Trace.event) -> ()) proto ~adversary ~n ~budget 
           if src < 0 || src >= n then illegal "inject src out of range: %d" src;
           if not (Corruption.is_corrupt tracker src) then
             illegal "only corrupt nodes can be driven by the adversary";
-          Metrics.record_injection metrics ~bits:(proto.msg_bits env payload);
+          let bits = proto.msg_bits env payload in
+          Metrics.record_injection metrics ~bits;
+          srec ~round:r ~node:src Baobs.Series.Injection 1;
+          srec ~round:r ~node:src Baobs.Series.Injection_bits bits;
           tracer
             (Trace.Injected
                { round = r;
@@ -195,22 +225,28 @@ let run_env ?(tracer = fun (_ : Trace.event) -> ()) proto ~adversary ~n ~budget 
             :: !injections
     in
     List.iter apply (adversary.intervene view);
+    Baobs.Probe.stop p_adversary t_adv;
     (* Phase 3: account and deliver. Honest sends are counted per
        Definition 7 even when erased: the node was honest when it sent
        the message, so it counts toward honest communication — erasure
        only affects delivery. *)
+    let t_deliver = Baobs.Probe.start () in
     let all_wires = List.rev_append !injections (List.rev !wires) in
     List.iter
       (fun w ->
         if w.honest_origin then begin
+          let bits = proto.msg_bits env w.w_payload in
           (match w.w_dst with
           | All ->
-              Metrics.record_honest_multicast metrics
-                ~bits:(proto.msg_bits env w.w_payload)
+              Metrics.record_honest_multicast metrics ~bits;
+              srec ~round:r ~node:w.w_src Baobs.Series.Multicast 1;
+              srec ~round:r ~node:w.w_src Baobs.Series.Multicast_bits bits
           | Only targets ->
-              Metrics.record_honest_unicast metrics
-                ~recipients:(List.length targets)
-                ~bits:(proto.msg_bits env w.w_payload));
+              let recipients = List.length targets in
+              Metrics.record_honest_unicast metrics ~recipients ~bits;
+              srec ~round:r ~node:w.w_src Baobs.Series.Unicast recipients;
+              srec ~round:r ~node:w.w_src Baobs.Series.Unicast_bits
+                (recipients * bits));
           if not w.erased then
             tracer
               (Trace.Sent
@@ -220,7 +256,8 @@ let run_env ?(tracer = fun (_ : Trace.event) -> ()) proto ~adversary ~n ~budget 
                    recipients =
                      (match w.w_dst with
                      | All -> n
-                     | Only targets -> List.length targets) })
+                     | Only targets -> List.length targets);
+                   bits })
         end)
       all_wires;
     let next = Array.make n [] in
@@ -242,9 +279,19 @@ let run_env ?(tracer = fun (_ : Trace.event) -> ()) proto ~adversary ~n ~budget 
     for j = 0 to n - 1 do
       inboxes.(j) <- List.rev next.(j)
     done;
+    Baobs.Probe.stop p_delivery t_deliver;
     incr round;
     if not (honest_active ()) then running := false
   done;
+  (match series with
+  | Some s -> (
+      (* The aggregates must be derivable from the series: divergence
+         means an accounting bug in this very function. *)
+      match Metrics.agrees_with_series metrics s with
+      | Ok () -> ()
+      | Error msg ->
+          failwith ("Engine.run: metric series diverged from aggregates: " ^ msg))
+  | None -> ());
   let outputs = Array.map proto.output states in
   let corrupt = Array.init n (Corruption.is_corrupt tracker) in
   let all_honest_decided =
@@ -264,5 +311,7 @@ let run_env ?(tracer = fun (_ : Trace.event) -> ()) proto ~adversary ~n ~budget 
       all_honest_decided;
       halt_rounds } )
 
-let run ?tracer proto ~adversary ~n ~budget ~inputs ~max_rounds ~seed =
-  snd (run_env ?tracer proto ~adversary ~n ~budget ~inputs ~max_rounds ~seed)
+let run ?tracer ?series proto ~adversary ~n ~budget ~inputs ~max_rounds ~seed =
+  snd
+    (run_env ?tracer ?series proto ~adversary ~n ~budget ~inputs ~max_rounds
+       ~seed)

@@ -126,6 +126,7 @@ type result = {
 
 val run :
   ?tracer:(Trace.event -> unit) ->
+  ?series:Baobs.Series.t ->
   ('env, 'state, 'msg) protocol ->
   adversary:('env, 'msg) adversary ->
   n:int ->
@@ -135,12 +136,18 @@ val run :
   seed:int64 ->
   result
 (** Execute one run. Deterministic in [seed]. [tracer] receives one
-    {!Trace.event} per send/corruption/removal/injection/halt.
+    {!Trace.event} per send/corruption/removal/injection/halt. [series],
+    when given, is filled with per-round × per-node counters recorded at
+    the same accounting points as {!Metrics} (and checked against the
+    aggregates at the end of the run). The engine's three phases are
+    additionally timed under the [engine.*] {!Baobs.Probe}s when the
+    probe registry is enabled.
     @raise Invalid_argument if [Array.length inputs <> n].
     @raise Illegal_action if the adversary violates its model. *)
 
 val run_env :
   ?tracer:(Trace.event -> unit) ->
+  ?series:Baobs.Series.t ->
   ('env, 'state, 'msg) protocol ->
   adversary:('env, 'msg) adversary ->
   n:int ->

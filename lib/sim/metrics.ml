@@ -57,3 +57,34 @@ let pp fmt t =
   Format.fprintf fmt
     "rounds=%d multicasts=%d (%d bits) unicasts=%d removals=%d injections=%d"
     (rounds t) t.multicasts t.multicast_bits t.unicasts t.removals t.injections
+
+let to_json t =
+  let open Baobs.Json in
+  Obj
+    [ ("n", Int t.n);
+      ("rounds", Int (rounds t));
+      ("multicasts", Int t.multicasts);
+      ("multicast_bits", Int t.multicast_bits);
+      ("unicasts", Int t.unicasts);
+      ("unicast_bits", Int t.unicast_bits);
+      ("removals", Int t.removals);
+      ("injections", Int t.injections);
+      ("injection_bits", Int t.injection_bits);
+      ("classical_messages", Int (classical_messages t));
+      ("classical_bits", Int (classical_bits t)) ]
+
+let agrees_with_series t series =
+  let open Baobs.Series in
+  let checks =
+    [ ("multicasts", t.multicasts, total series Multicast);
+      ("multicast_bits", t.multicast_bits, total series Multicast_bits);
+      ("unicasts", t.unicasts, total series Unicast);
+      ("unicast_bits", t.unicast_bits, total series Unicast_bits);
+      ("removals", t.removals, total series Removal);
+      ("injections", t.injections, total series Injection);
+      ("injection_bits", t.injection_bits, total series Injection_bits) ]
+  in
+  match List.find_opt (fun (_, a, b) -> a <> b) checks with
+  | None -> Ok ()
+  | Some (name, a, b) ->
+      Error (Printf.sprintf "%s: metrics=%d series=%d" name a b)

@@ -56,3 +56,10 @@ val rounds : t -> int
 (** Highest executed round + 1. *)
 
 val pp : Format.formatter -> t -> unit
+
+val to_json : t -> Baobs.Json.t
+
+val agrees_with_series : t -> Baobs.Series.t -> (unit, string) result
+(** Check that every aggregate equals the corresponding
+    {!Baobs.Series} total — the series must be from the same run. The
+    engine asserts this at the end of every run that records a series. *)

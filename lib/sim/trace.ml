@@ -1,21 +1,30 @@
 type event =
   | Round_started of { round : int }
-  | Sent of { round : int; node : int; multicast : bool; recipients : int }
+  | Sent of
+      { round : int; node : int; multicast : bool; recipients : int; bits : int }
   | Corrupted of { round : int; node : int }
-  | Removed of { round : int; victim : int }
+  | Removed of
+      { round : int;
+        victim : int;
+        multicast : bool;
+        recipients : int;
+        bits : int }
   | Injected of { round : int; src : int; recipients : int }
   | Halted of { round : int; node : int; output : bool option }
 
 let pp_event fmt = function
   | Round_started { round } -> Format.fprintf fmt "-- round %d --" round
-  | Sent { node; multicast; recipients; _ } ->
-      if multicast then Format.fprintf fmt "node %d multicasts" node
-      else Format.fprintf fmt "node %d sends to %d nodes" node recipients
+  | Sent { node; multicast; recipients; bits; _ } ->
+      if multicast then Format.fprintf fmt "node %d multicasts (%d bits)" node bits
+      else Format.fprintf fmt "node %d sends to %d nodes (%d bits)" node recipients bits
   | Corrupted { round; node } ->
       if round < 0 then Format.fprintf fmt "node %d corrupted at setup" node
       else Format.fprintf fmt "node %d corrupted" node
-  | Removed { victim; _ } ->
-      Format.fprintf fmt "a message of node %d erased after the fact" victim
+  | Removed { victim; multicast; recipients; bits; _ } ->
+      Format.fprintf fmt
+        "a %s of node %d to %d nodes (%d bits) erased after the fact"
+        (if multicast then "multicast" else "message")
+        victim recipients bits
   | Injected { src; recipients; _ } ->
       Format.fprintf fmt "adversary sends as node %d to %d nodes" src recipients
   | Halted { node; output; _ } ->
@@ -25,18 +34,6 @@ let pp_event fmt = function
         | Some false -> "0"
         | None -> "none")
 
-type collector = { mutable rev_events : event list; mutable total : int }
-
-let collector () = { rev_events = []; total = 0 }
-
-let observe c event =
-  c.rev_events <- event :: c.rev_events;
-  c.total <- c.total + 1
-
-let events c = List.rev c.rev_events
-
-let count c p = List.length (List.filter p (events c))
-
 let round_of = function
   | Round_started { round }
   | Sent { round; _ }
@@ -45,6 +42,99 @@ let round_of = function
   | Injected { round; _ }
   | Halted { round; _ } ->
       round
+
+let kind_of = function
+  | Round_started _ -> "round_started"
+  | Sent _ -> "sent"
+  | Corrupted _ -> "corrupted"
+  | Removed _ -> "removed"
+  | Injected _ -> "injected"
+  | Halted _ -> "halted"
+
+let to_json event =
+  let open Baobs.Json in
+  let tagged fields = Obj (("event", String (kind_of event)) :: fields) in
+  match event with
+  | Round_started { round } -> tagged [ ("round", Int round) ]
+  | Sent { round; node; multicast; recipients; bits } ->
+      tagged
+        [ ("round", Int round);
+          ("node", Int node);
+          ("multicast", Bool multicast);
+          ("recipients", Int recipients);
+          ("bits", Int bits) ]
+  | Corrupted { round; node } ->
+      tagged [ ("round", Int round); ("node", Int node) ]
+  | Removed { round; victim; multicast; recipients; bits } ->
+      tagged
+        [ ("round", Int round);
+          ("victim", Int victim);
+          ("multicast", Bool multicast);
+          ("recipients", Int recipients);
+          ("bits", Int bits) ]
+  | Injected { round; src; recipients } ->
+      tagged
+        [ ("round", Int round); ("src", Int src); ("recipients", Int recipients) ]
+  | Halted { round; node; output } ->
+      tagged
+        [ ("round", Int round);
+          ("node", Int node);
+          ( "output",
+            match output with Some b -> Bool b | None -> Null ) ]
+
+(* ---------- collectors -------------------------------------------------- *)
+
+type collector = {
+  mutable rev_events : event list;
+  mutable total : int;
+  mutable cache : event list option;
+      (* memoized [List.rev rev_events]; invalidated on observe so k
+         queries over an m-event trace cost one reversal, not k *)
+}
+
+let collector () = { rev_events = []; total = 0; cache = None }
+
+let observe c event =
+  c.rev_events <- event :: c.rev_events;
+  c.total <- c.total + 1;
+  c.cache <- None
+
+let events c =
+  match c.cache with
+  | Some evs -> evs
+  | None ->
+      let evs = List.rev c.rev_events in
+      c.cache <- Some evs;
+      evs
+
+let length c = c.total
+
+(* Counting is order-independent: fold the raw reversed list without
+   materializing anything. *)
+let count c p =
+  List.fold_left (fun acc e -> if p e then acc + 1 else acc) 0 c.rev_events
+
+type ring = event Baobs.Ring.t
+
+let ring ~capacity = Baobs.Ring.create ~capacity
+
+let observe_ring = Baobs.Ring.add
+
+let ring_events = Baobs.Ring.to_list
+
+let ring_dropped = Baobs.Ring.dropped
+
+(* ---------- sinks ------------------------------------------------------- *)
+
+let jsonl_tracer ?kinds ?min_round ?max_round sink =
+  let keep e =
+    (match kinds with
+    | None -> true
+    | Some ks -> List.mem (kind_of e) ks)
+    && (match min_round with None -> true | Some lo -> round_of e >= lo)
+    && match max_round with None -> true | Some hi -> round_of e <= hi
+  in
+  fun e -> if keep e then Baobs.Jsonl.emit sink (to_json e)
 
 let render ?(max_rounds = 30) c =
   let buf = Buffer.create 1024 in

@@ -2,24 +2,43 @@
 
     The engine can emit one {!event} per noteworthy occurrence — sends,
     corruptions, after-the-fact removals, injections, halts — to an
-    observer callback. {!collector} gathers them for inspection
-    (tests, the CLI's [--trace] mode); rendering is message-agnostic so
-    one tracer serves every protocol. *)
+    observer callback. Observers on offer: a {!collector} that gathers
+    everything (tests, the CLI's [--trace] mode), a bounded {!ring} that
+    keeps only the latest events, and a streaming {!jsonl_tracer} that
+    writes one JSON object per event with optional kind/round filters.
+    Rendering is message-agnostic so one tracer serves every protocol. *)
 
 type event =
   | Round_started of { round : int }
-  | Sent of { round : int; node : int; multicast : bool; recipients : int }
+  | Sent of
+      { round : int; node : int; multicast : bool; recipients : int; bits : int }
       (** an honest send survived to delivery ([recipients] = n for a
           multicast) *)
   | Corrupted of { round : int; node : int }
       (** [round = -1] for setup-time (static) corruption *)
-  | Removed of { round : int; victim : int }
-      (** an after-the-fact removal of one of [victim]'s sends *)
+  | Removed of
+      { round : int;
+        victim : int;
+        multicast : bool;
+        recipients : int;
+        bits : int }
+      (** an after-the-fact removal of one of [victim]'s sends; carries
+          the erased send's shape so traces reconstruct the Definition-7
+          accounting (erased honest sends still count) *)
   | Injected of { round : int; src : int; recipients : int }
       (** the adversary made corrupt [src] send a message *)
   | Halted of { round : int; node : int; output : bool option }
 
 val pp_event : Format.formatter -> event -> unit
+
+val round_of : event -> int
+
+val kind_of : event -> string
+(** Stable tag used as the ["event"] field of {!to_json}: one of
+    [round_started], [sent], [corrupted], [removed], [injected],
+    [halted]. *)
+
+val to_json : event -> Baobs.Json.t
 
 type collector
 
@@ -29,9 +48,37 @@ val observe : collector -> event -> unit
 (** The callback to hand to {!Engine.run} via [?tracer]. *)
 
 val events : collector -> event list
-(** All observed events, in order. *)
+(** All observed events, in order (memoized; O(1) after the first call
+    until the next {!observe}). *)
 
 val count : collector -> (event -> bool) -> int
+(** Streaming count — never materializes the event list. *)
+
+val length : collector -> int
+(** Total events observed. *)
+
+type ring
+(** Bounded collector: keeps the last [capacity] events, dropping the
+    oldest — constant memory on arbitrarily long runs. *)
+
+val ring : capacity:int -> ring
+
+val observe_ring : ring -> event -> unit
+
+val ring_events : ring -> event list
+(** Retained events, oldest first. *)
+
+val ring_dropped : ring -> int
+
+val jsonl_tracer :
+  ?kinds:string list ->
+  ?min_round:int ->
+  ?max_round:int ->
+  Baobs.Jsonl.t ->
+  event ->
+  unit
+(** Streaming tracer: each event passing the filters is written to the
+    sink as one JSON line. [kinds] filters on {!kind_of} tags. *)
 
 val render : ?max_rounds:int -> collector -> string
 (** Human-readable, per-round digest of the trace (rounds beyond

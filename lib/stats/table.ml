@@ -59,3 +59,11 @@ let fmt_int n =
       Buffer.add_char buf c)
     s;
   Buffer.contents buf
+
+let title t = t.title
+
+let columns t = t.columns
+
+let rows t = List.rev t.rows
+
+let notes t = List.rev t.notes

@@ -21,3 +21,12 @@ val fmt_float : float -> string
 
 val fmt_int : int -> string
 (** Thousands-separated integer. *)
+
+val title : t -> string
+
+val columns : t -> string list
+
+val rows : t -> string list list
+(** Rows in insertion order (for exporters). *)
+
+val notes : t -> string list

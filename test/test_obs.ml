@@ -1,0 +1,370 @@
+(* Tests for the telemetry layer (Baobs) and its engine integration:
+   JSON round-trips, metric series vs. Metrics aggregates, JSONL trace
+   sinks, ring buffers, and probe spans. *)
+
+open Basim
+open Bacore
+
+let passive () = Engine.passive ~name:"none" ~model:Corruption.Adaptive
+
+(* --- Json ------------------------------------------------------------------ *)
+
+let sample_json =
+  Baobs.Json.(
+    Obj
+      [ ("null", Null);
+        ("bool", Bool true);
+        ("int", Int (-42));
+        ("float", Float 3.25);
+        ("mean", Float 117.09999999999991);
+        ("string", String "quote \" backslash \\ newline \n tab \t");
+        ("list", List [ Int 1; Float 2.5; String "x"; Obj [] ]);
+        ("nested", Obj [ ("inner", List [ Bool false; Null ]) ]) ])
+
+let test_json_roundtrip () =
+  let s = Baobs.Json.to_string sample_json in
+  let parsed = Baobs.Json.of_string s in
+  Alcotest.(check bool) "roundtrip equal" true (parsed = sample_json);
+  Alcotest.(check string) "stable reprint" s (Baobs.Json.to_string parsed)
+
+let test_json_parse_whitespace () =
+  let parsed =
+    Baobs.Json.of_string "  { \"a\" : [ 1 , 2.0 ,\n \"b\" ] , \"c\": null } "
+  in
+  Baobs.Json.(
+    Alcotest.(check bool) "parsed" true
+      (parsed = Obj [ ("a", List [ Int 1; Float 2.0; String "b" ]); ("c", Null) ]))
+
+let test_json_parse_errors () =
+  let bad s =
+    match Baobs.Json.of_string s with
+    | exception Baobs.Json.Parse_error _ -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "trailing garbage" true (bad "{} x");
+  Alcotest.(check bool) "unterminated string" true (bad "\"abc");
+  Alcotest.(check bool) "bare word" true (bad "bogus")
+
+let test_rates_json_roundtrip () =
+  let rates =
+    { Baexperiments.Common.trials = 10;
+      consistency_fail = 1;
+      validity_fail = 0;
+      termination_fail = 2;
+      mean_rounds = 11.5;
+      mean_multicasts = 117.1;
+      mean_multicast_bits = 6212.4;
+      mean_unicasts = 0.0;
+      mean_removals = 40.0;
+      mean_corruptions = 40.0 }
+  in
+  let json = Baexperiments.Common.rates_to_json rates in
+  let parsed = Baobs.Json.of_string (Baobs.Json.to_string json) in
+  Alcotest.(check bool) "rates roundtrip" true (parsed = json);
+  Alcotest.(check int) "trials"
+    10
+    Baobs.Json.(as_int (member_exn "trials" parsed));
+  Alcotest.(check (float 1e-9)) "mean_multicasts" 117.1
+    Baobs.Json.(as_float (member_exn "mean_multicasts" parsed))
+
+(* --- Ring ------------------------------------------------------------------ *)
+
+let test_ring_drops_oldest () =
+  let r = Baobs.Ring.create ~capacity:5 in
+  for i = 1 to 8 do
+    Baobs.Ring.add r i
+  done;
+  Alcotest.(check (list int)) "last five, oldest first" [ 4; 5; 6; 7; 8 ]
+    (Baobs.Ring.to_list r);
+  Alcotest.(check int) "length" 5 (Baobs.Ring.length r);
+  Alcotest.(check int) "dropped" 3 (Baobs.Ring.dropped r)
+
+let test_trace_ring () =
+  let ring = Trace.ring ~capacity:3 in
+  for round = 0 to 9 do
+    Trace.observe_ring ring (Trace.Round_started { round })
+  done;
+  Alcotest.(check int) "dropped" 7 (Trace.ring_dropped ring);
+  Alcotest.(check (list int)) "latest rounds retained" [ 7; 8; 9 ]
+    (List.map Trace.round_of (Trace.ring_events ring))
+
+(* --- Probe ----------------------------------------------------------------- *)
+
+let test_probe_spans () =
+  let p = Baobs.Probe.register "test.span" in
+  Baobs.Probe.reset ();
+  (* Disabled: nothing records. *)
+  Baobs.Probe.disable ();
+  Baobs.Probe.time p (fun () -> ignore (Sys.opaque_identity (1 + 1)));
+  Alcotest.(check bool) "disabled records nothing" true
+    (not (List.exists (fun (n, _, _) -> n = "test.span") (Baobs.Probe.snapshot ())));
+  (* Enabled: counts and accumulates. *)
+  Baobs.Probe.enable ();
+  for _ = 1 to 3 do
+    Baobs.Probe.time p (fun () -> ignore (Sys.opaque_identity (String.make 64 'x')))
+  done;
+  Baobs.Probe.disable ();
+  (match List.find_opt (fun (n, _, _) -> n = "test.span") (Baobs.Probe.snapshot ()) with
+  | Some (_, count, total_ns) ->
+      Alcotest.(check int) "three spans" 3 count;
+      Alcotest.(check bool) "nonnegative time" true (total_ns >= 0.0)
+  | None -> Alcotest.fail "probe missing from snapshot");
+  (* Snapshot survives a JSON round-trip. *)
+  let json = Baobs.Probe.to_json () in
+  Alcotest.(check bool) "span json roundtrip" true
+    (Baobs.Json.of_string (Baobs.Json.to_string json) = json);
+  Baobs.Probe.reset ()
+
+(* --- Series vs Metrics ----------------------------------------------------- *)
+
+let run_sub_hm_with_series ~n ~lambda ~max_epochs ~budget ~adversary ~inputs
+    ~seed =
+  let params = Params.make ~lambda ~max_epochs () in
+  let proto = Sub_hm.protocol ~params ~world:`Hybrid in
+  let series = Baobs.Series.create ~n in
+  let buf = Buffer.create 4096 in
+  let sink = Baobs.Jsonl.to_buffer buf in
+  let result =
+    Engine.run
+      ~tracer:(Trace.jsonl_tracer sink)
+      ~series proto ~adversary ~n ~budget ~inputs
+      ~max_rounds:((4 * max_epochs) + 12) ~seed
+  in
+  (result, series, Buffer.contents buf)
+
+(* Rebuild Definition-7 aggregates from a JSONL trace: erased honest
+   sends appear as [removed] events carrying their shape. *)
+type replay = {
+  mutable r_multicasts : int;
+  mutable r_multicast_bits : int;
+  mutable r_unicasts : int;
+  mutable r_removals : int;
+  mutable r_injections : int;
+}
+
+let replay_of_jsonl text =
+  let totals =
+    { r_multicasts = 0;
+      r_multicast_bits = 0;
+      r_unicasts = 0;
+      r_removals = 0;
+      r_injections = 0 }
+  in
+  let per_round : (int, int * int) Hashtbl.t = Hashtbl.create 64 in
+  let lines = String.split_on_char '\n' text in
+  List.iter
+    (fun line ->
+      if String.length line > 0 then begin
+        let j = Baobs.Json.of_string line in
+        let event = Baobs.Json.(as_string (member_exn "event" j)) in
+        let round () = Baobs.Json.(as_int (member_exn "round" j)) in
+        let honest_send () =
+          let multicast = Baobs.Json.(as_bool (member_exn "multicast" j)) in
+          let bits = Baobs.Json.(as_int (member_exn "bits" j)) in
+          let recipients = Baobs.Json.(as_int (member_exn "recipients" j)) in
+          if multicast then begin
+            totals.r_multicasts <- totals.r_multicasts + 1;
+            totals.r_multicast_bits <- totals.r_multicast_bits + bits;
+            let mc, mb =
+              match Hashtbl.find_opt per_round (round ()) with
+              | Some x -> x
+              | None -> (0, 0)
+            in
+            Hashtbl.replace per_round (round ()) (mc + 1, mb + bits)
+          end
+          else totals.r_unicasts <- totals.r_unicasts + recipients
+        in
+        match event with
+        | "sent" -> honest_send ()
+        | "removed" ->
+            totals.r_removals <- totals.r_removals + 1;
+            honest_send ()
+        | "injected" -> totals.r_injections <- totals.r_injections + 1
+        | _ -> ()
+      end)
+    lines;
+  (totals, per_round)
+
+let check_trace_matches_metrics name (result : Engine.result) series jsonl =
+  let m = result.Engine.metrics in
+  let totals, per_round = replay_of_jsonl jsonl in
+  Alcotest.(check int) (name ^ ": multicasts") (Metrics.honest_multicasts m)
+    totals.r_multicasts;
+  Alcotest.(check int)
+    (name ^ ": multicast bits")
+    (Metrics.honest_multicast_bits m)
+    totals.r_multicast_bits;
+  Alcotest.(check int) (name ^ ": unicasts") (Metrics.honest_unicasts m)
+    totals.r_unicasts;
+  Alcotest.(check int) (name ^ ": removals") (Metrics.removals m)
+    totals.r_removals;
+  Alcotest.(check int) (name ^ ": injections") (Metrics.injections m)
+    totals.r_injections;
+  (* Each JSONL line must be an object tagged with an event kind; the
+     per-round totals must agree with the metric series cell sums. *)
+  for round = 0 to Metrics.rounds m - 1 do
+    let mc, mb =
+      match Hashtbl.find_opt per_round round with Some x -> x | None -> (0, 0)
+    in
+    Alcotest.(check int)
+      (Printf.sprintf "%s: round %d multicasts" name round)
+      (Baobs.Series.round_total series ~round Baobs.Series.Multicast)
+      mc;
+    Alcotest.(check int)
+      (Printf.sprintf "%s: round %d multicast bits" name round)
+      (Baobs.Series.round_total series ~round Baobs.Series.Multicast_bits)
+      mb
+  done;
+  match Metrics.agrees_with_series m series with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail (name ^ ": series disagrees: " ^ msg)
+
+let test_series_matches_metrics_e1 () =
+  (* E1 scenario: strongly adaptive eraser vs sub-hm — exercises
+     removals, dynamic corruptions, and the erased-send accounting. *)
+  let result, series, jsonl =
+    run_sub_hm_with_series ~n:101 ~lambda:20 ~max_epochs:5 ~budget:30
+      ~adversary:(Baattacks.Eraser.make ())
+      ~inputs:(Scenario.unanimous_inputs ~n:101 true)
+      ~seed:7L
+  in
+  Alcotest.(check bool) "some removals happened" true
+    (Metrics.removals result.Engine.metrics > 0);
+  check_trace_matches_metrics "e1" result series jsonl;
+  Alcotest.(check int) "series corruption total = tracker count"
+    result.Engine.corruptions
+    (Baobs.Series.total series Baobs.Series.Corruption)
+
+let test_series_matches_metrics_e2 () =
+  (* E2 scenario: passive multicast-scaling run. *)
+  let result, series, jsonl =
+    run_sub_hm_with_series ~n:201 ~lambda:20 ~max_epochs:10 ~budget:0
+      ~adversary:(passive ())
+      ~inputs:(Scenario.split_inputs ~n:201)
+      ~seed:2L
+  in
+  Alcotest.(check bool) "decided" true result.Engine.all_honest_decided;
+  check_trace_matches_metrics "e2" result series jsonl;
+  (* Round sums across the whole series reproduce the aggregate. *)
+  let sum = ref 0 in
+  for round = -1 to Baobs.Series.max_round series do
+    sum := !sum + Baobs.Series.round_total series ~round Baobs.Series.Multicast
+  done;
+  Alcotest.(check int) "per-round sums = aggregate"
+    (Metrics.honest_multicasts result.Engine.metrics)
+    !sum
+
+let test_series_json_and_csv () =
+  let result, series, _ =
+    run_sub_hm_with_series ~n:101 ~lambda:20 ~max_epochs:5 ~budget:0
+      ~adversary:(passive ())
+      ~inputs:(Scenario.unanimous_inputs ~n:101 false)
+      ~seed:3L
+  in
+  let json = Baobs.Series.to_json series in
+  let parsed = Baobs.Json.of_string (Baobs.Json.to_string json) in
+  Alcotest.(check bool) "series json roundtrip" true (parsed = json);
+  let totals = Baobs.Json.member_exn "totals" parsed in
+  Alcotest.(check int) "json totals match metrics"
+    (Metrics.honest_multicasts result.Engine.metrics)
+    Baobs.Json.(as_int (member_exn "multicasts" totals));
+  (* CSV: header plus one row per (round, node) cell group, each row
+     with the full kind column set. *)
+  let csv = Baobs.Series.to_csv series in
+  let lines =
+    List.filter (fun l -> l <> "") (String.split_on_char '\n' csv)
+  in
+  (match lines with
+  | header :: rows ->
+      Alcotest.(check int) "csv columns" 10
+        (List.length (String.split_on_char ',' header));
+      Alcotest.(check bool) "csv has rows" true (List.length rows > 0);
+      List.iter
+        (fun row ->
+          Alcotest.(check int) "row arity" 10
+            (List.length (String.split_on_char ',' row)))
+        rows
+  | [] -> Alcotest.fail "empty csv")
+
+let test_jsonl_sink_valid_lines () =
+  let _, _, jsonl =
+    run_sub_hm_with_series ~n:101 ~lambda:20 ~max_epochs:5 ~budget:30
+      ~adversary:(Baattacks.Eraser.make ())
+      ~inputs:(Scenario.unanimous_inputs ~n:101 true)
+      ~seed:7L
+  in
+  let lines =
+    List.filter (fun l -> l <> "") (String.split_on_char '\n' jsonl)
+  in
+  Alcotest.(check bool) "nonempty trace" true (List.length lines > 0);
+  List.iter
+    (fun line ->
+      match Baobs.Json.of_string line with
+      | Baobs.Json.Obj _ as j ->
+          let kind = Baobs.Json.(as_string (member_exn "event" j)) in
+          Alcotest.(check bool) ("known kind " ^ kind) true
+            (List.mem kind
+               [ "round_started"; "sent"; "corrupted"; "removed"; "injected";
+                 "halted" ])
+      | _ -> Alcotest.fail "JSONL line is not an object")
+    lines
+
+let test_jsonl_filters () =
+  let buf = Buffer.create 256 in
+  let sink = Baobs.Jsonl.to_buffer buf in
+  let tracer =
+    Trace.jsonl_tracer ~kinds:[ "sent" ] ~min_round:1 ~max_round:2 sink
+  in
+  tracer (Trace.Round_started { round = 1 });
+  tracer (Trace.Sent { round = 0; node = 0; multicast = true; recipients = 5; bits = 8 });
+  tracer (Trace.Sent { round = 1; node = 1; multicast = true; recipients = 5; bits = 8 });
+  tracer (Trace.Sent { round = 2; node = 2; multicast = false; recipients = 1; bits = 8 });
+  tracer (Trace.Sent { round = 3; node = 3; multicast = true; recipients = 5; bits = 8 });
+  Alcotest.(check int) "two lines pass the filters" 2 (Baobs.Jsonl.emitted sink);
+  let nodes =
+    String.split_on_char '\n' (Buffer.contents buf)
+    |> List.filter (fun l -> l <> "")
+    |> List.map (fun l ->
+           Baobs.Json.(as_int (member_exn "node" (of_string l))))
+  in
+  Alcotest.(check (list int)) "rounds 1-2 only" [ 1; 2 ] nodes
+
+(* --- Trace collector fixes -------------------------------------------------- *)
+
+let test_collector_memoized_events () =
+  let c = Trace.collector () in
+  for round = 0 to 99 do
+    Trace.observe c (Trace.Round_started { round })
+  done;
+  let a = Trace.events c in
+  let b = Trace.events c in
+  Alcotest.(check bool) "memoized list reused" true (a == b);
+  Alcotest.(check int) "count without events" 100
+    (Trace.count c (function Trace.Round_started _ -> true | _ -> false));
+  Trace.observe c (Trace.Round_started { round = 100 });
+  Alcotest.(check int) "cache invalidated on observe" 101
+    (List.length (Trace.events c));
+  Alcotest.(check int) "length" 101 (Trace.length c)
+
+let () =
+  Alcotest.run "obs"
+    [ ( "json",
+        [ Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "whitespace" `Quick test_json_parse_whitespace;
+          Alcotest.test_case "errors" `Quick test_json_parse_errors;
+          Alcotest.test_case "rates" `Quick test_rates_json_roundtrip ] );
+      ( "ring",
+        [ Alcotest.test_case "drops oldest" `Quick test_ring_drops_oldest;
+          Alcotest.test_case "trace ring" `Quick test_trace_ring ] );
+      ("probe", [ Alcotest.test_case "spans" `Quick test_probe_spans ]);
+      ( "series",
+        [ Alcotest.test_case "e1 eraser scenario" `Quick
+            test_series_matches_metrics_e1;
+          Alcotest.test_case "e2 passive scenario" `Quick
+            test_series_matches_metrics_e2;
+          Alcotest.test_case "json + csv export" `Quick test_series_json_and_csv ] );
+      ( "jsonl",
+        [ Alcotest.test_case "valid lines" `Quick test_jsonl_sink_valid_lines;
+          Alcotest.test_case "filters" `Quick test_jsonl_filters ] );
+      ( "collector",
+        [ Alcotest.test_case "memoization" `Quick test_collector_memoized_events ] ) ]
