@@ -87,8 +87,10 @@ let print_result ~label ~inputs result =
 (* Each protocol has its own message type, so the dispatch instantiates
    engine, adversary, and printer together. *)
 let dispatch proto adv ~n ~budget ~lambda ~epochs ~inputs_choice ~seed ~trace
-    ~trace_jsonl ~metrics_json ~timings =
-  let collector = if trace then Some (Trace.collector ()) else None in
+    ~trace_jsonl ~metrics_json ~timings ~check_trace ~lenient_caps =
+  let collector =
+    if trace || check_trace then Some (Trace.collector ()) else None
+  in
   let jsonl =
     Option.map
       (fun path ->
@@ -106,10 +108,10 @@ let dispatch proto adv ~n ~budget ~lambda ~epochs ~inputs_choice ~seed ~trace
   if timings then Baobs.Probe.enable ();
   let print_trace () =
     match collector with
-    | Some c ->
+    | Some c when trace ->
         print_endline "--- trace ---";
         print_string (Trace.render c)
-    | None -> ()
+    | Some _ | None -> ()
   in
   (* Post-run bookkeeping shared by every protocol branch: close the
      JSONL sink, export metrics + series, print timings. *)
@@ -149,14 +151,45 @@ let dispatch proto adv ~n ~budget ~lambda ~epochs ~inputs_choice ~seed ~trace
     | A_split | A_equivocator | A_cm_equivocator ->
         Error "this adversary only targets specific protocols"
   in
+  let on_caps_mismatch = if lenient_caps then `Warn else `Refuse in
+  (* Pipe the collected trace through the invariant verifier; a finding
+     means the run violated the declared adversary model. Exit 3 keeps
+     trace violations distinct from property-verdict failures (2). *)
+  let run_check_trace adversary (result : Engine.result) =
+    if not check_trace then 0
+    else
+      match collector with
+      | None -> 0
+      | Some c ->
+          let findings =
+            Bacheck.Trace_lint.verify ~metrics:result.Engine.metrics
+              ~model:adversary.Engine.model ~budget (Trace.events c)
+          in
+          if findings = [] then begin
+            print_endline "check-trace: clean";
+            0
+          end
+          else begin
+            List.iter
+              (fun f ->
+                Format.eprintf "check-trace: %a@." Bacheck.Trace_lint.pp_finding
+                  f)
+              findings;
+            Printf.eprintf "check-trace: %d finding(s)\n%!"
+              (List.length findings);
+            3
+          end
+  in
   let run_proto proto_rec label adversary =
     let result =
-      Engine.run ~tracer ?series proto_rec ~adversary ~n ~budget ~inputs
-        ~max_rounds ~seed:seed64
+      Engine.run ~tracer ?series ~on_caps_mismatch proto_rec ~adversary ~n
+        ~budget ~inputs ~max_rounds ~seed:seed64
     in
     print_trace ();
     finish ~label result;
-    print_result ~label ~inputs result
+    let check_code = run_check_trace adversary result in
+    let verdict_code = print_result ~label ~inputs result in
+    if check_code <> 0 then check_code else verdict_code
   in
   let run_generic proto_rec label =
     match generic_adv () with
@@ -303,11 +336,29 @@ let timings_arg =
           "Enable phase/crypto timers and print a per-probe summary after the \
            run.")
 
+let check_trace_arg =
+  Arg.(
+    value & flag
+    & info [ "check-trace" ]
+        ~doc:
+          "Collect the execution trace and verify it against the adversary \
+           model's invariants (round monotonicity, removal discipline, \
+           budget, Definition-7 accounting). Exits 3 on any finding.")
+
+let lenient_caps_arg =
+  Arg.(
+    value & flag
+    & info [ "lenient-caps" ]
+        ~doc:
+          "Only warn (instead of refusing to run) when the adversary's \
+           declared capabilities are inconsistent with the corruption model \
+           or budget.")
+
 let main proto adv n budget lambda epochs inputs_choice seed trace trace_jsonl
-    metrics_json timings =
+    metrics_json timings check_trace lenient_caps =
   try
     dispatch proto adv ~n ~budget ~lambda ~epochs ~inputs_choice ~seed ~trace
-      ~trace_jsonl ~metrics_json ~timings
+      ~trace_jsonl ~metrics_json ~timings ~check_trace ~lenient_caps
   with Sys_error e ->
     (* e.g. an unwritable --trace-jsonl / --metrics-json destination *)
     prerr_endline ("ba_run: " ^ e);
@@ -320,6 +371,6 @@ let cmd =
     Term.(
       const main $ proto_arg $ adv_arg $ n_arg $ budget_arg $ lambda_arg
       $ epochs_arg $ inputs_arg $ seed_arg $ trace_arg $ trace_jsonl_arg
-      $ metrics_json_arg $ timings_arg)
+      $ metrics_json_arg $ timings_arg $ check_trace_arg $ lenient_caps_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -7,7 +7,7 @@ let both_bits = [ false; true ]
    remainder keeps the same input mix in both network halves. *)
 let top_ids ~n ~budget =
   if budget = 0 then []
-  else List.sort_uniq compare (List.init budget (fun k -> k * n / budget))
+  else List.sort_uniq Int.compare (List.init budget (fun k -> k * n / budget))
 
 let lower_half n = Engine.Only (List.init (n / 2) (fun i -> i))
 
@@ -17,6 +17,9 @@ let sub_third () =
   let corrupt_set = ref [] in
   { Engine.adv_name = "split-vote-sub3";
     model = Corruption.Adaptive;
+    caps =
+      { Capability.caps = [ Capability.Setup_corruption; Capability.Injection ];
+        budget_bound = None };
     setup =
       (fun _ ~n ~budget ~rng:_ ->
         corrupt_set := top_ids ~n ~budget;
@@ -89,6 +92,9 @@ let sub_hm () =
   in
   { Engine.adv_name = "split-vote-shm";
     model = Corruption.Adaptive;
+    caps =
+      { Capability.caps = [ Capability.Setup_corruption; Capability.Injection ];
+        budget_bound = None };
     setup =
       (fun _ ~n ~budget ~rng:_ ->
         corrupt_set := top_ids ~n ~budget;

@@ -20,6 +20,9 @@ let result_stmt bit = Printf.sprintf "sc:result:%d" (if bit then 1 else 0)
 let sign_result env ~signer ~bit =
   Result { bit; tag = Signature.sign env.sigs ~signer (result_stmt bit) }
 
+let compare_vote (a, x) (b, y) =
+  match Int.compare a b with 0 -> Bool.compare x y | c -> c
+
 let majority pairs =
   let ones = List.length (List.filter snd pairs) in
   let zeros = List.length pairs - ones in
@@ -60,9 +63,7 @@ let protocol ~committee_size =
                   | Committee_vote _ | Result _ -> None)
                 inbox
             in
-            let dedup =
-              List.sort_uniq compare (List.map (fun (s, b) -> (s, b)) votes)
-            in
+            let dedup = List.sort_uniq compare_vote votes in
             let bit = majority dedup in
             [ Basim.Engine.multicast
                 (Result
@@ -83,7 +84,7 @@ let protocol ~committee_size =
               | Result _ | Committee_vote _ -> None)
             inbox
         in
-        state.out <- Some (majority (List.sort_uniq compare results));
+        state.out <- Some (majority (List.sort_uniq compare_vote results));
         state.stopped <- true;
         (state, [])
   in

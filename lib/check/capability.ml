@@ -1,0 +1,64 @@
+type cap = Basim.Capability.t =
+  | Setup_corruption
+  | Midround_corruption
+  | After_fact_removal
+  | Injection
+
+type decl = Basim.Capability.decl = {
+  caps : cap list;
+  budget_bound : int option;
+}
+
+type finding = {
+  adversary : string;
+  mismatch : Basim.Capability.mismatch;
+  message : string;
+}
+
+let check ?(adversary = "<decl>") decl ~model ~budget =
+  List.map
+    (fun mismatch ->
+      { adversary;
+        mismatch;
+        message =
+          Printf.sprintf "adversary %s: %s" adversary
+            (Basim.Capability.mismatch_to_string mismatch) })
+    (Basim.Capability.validate decl ~model ~budget)
+
+let check_adversary adv ~budget =
+  check ~adversary:adv.Basim.Engine.adv_name adv.Basim.Engine.caps
+    ~model:adv.Basim.Engine.model ~budget
+
+let pp_finding fmt f = Format.pp_print_string fmt f.message
+
+let mismatch_kind = function
+  | Basim.Capability.Removal_not_allowed _ -> "removal-not-allowed"
+  | Basim.Capability.Midround_not_allowed _ -> "midround-not-allowed"
+  | Basim.Capability.Bound_exceeds_budget _ -> "bound-exceeds-budget"
+
+let finding_to_json f =
+  Baobs.Json.Obj
+    [ ("adversary", Baobs.Json.String f.adversary);
+      ("kind", Baobs.Json.String (mismatch_kind f.mismatch));
+      ("message", Baobs.Json.String f.message) ]
+
+let decl_fields decl =
+  [ ( "caps",
+      Baobs.Json.List
+        (List.map
+           (fun c -> Baobs.Json.String (Basim.Capability.name c))
+           decl.caps) );
+    ( "budget_bound",
+      match decl.budget_bound with
+      | None -> Baobs.Json.Null
+      | Some b -> Baobs.Json.Int b ) ]
+
+let decl_to_json decl = Baobs.Json.Obj (decl_fields decl)
+
+let table rows =
+  Baobs.Json.List
+    (List.map
+       (fun (name, decl) ->
+         Baobs.Json.Obj
+           (("adversary", Baobs.Json.String name) :: decl_fields decl))
+       rows)

@@ -1,0 +1,51 @@
+(** Adversary-capability checking with typed findings.
+
+    Re-exports {!Basim.Capability} (the declaration vocabulary lives in
+    the simulator so adversary records can carry it) and layers the
+    static-analysis entry points on top: {!check} turns a declaration ×
+    model × budget triple into findings, and {!table} renders the
+    capability matrix of a set of named adversaries as JSON for reports
+    and docs. *)
+
+type cap = Basim.Capability.t =
+  | Setup_corruption
+  | Midround_corruption
+  | After_fact_removal
+  | Injection
+
+type decl = Basim.Capability.decl = {
+  caps : cap list;
+  budget_bound : int option;
+}
+
+type finding = {
+  adversary : string;  (** adversary name, or ["<decl>"] when unnamed *)
+  mismatch : Basim.Capability.mismatch;
+  message : string;
+}
+
+val check :
+  ?adversary:string ->
+  decl ->
+  model:Basim.Corruption.model ->
+  budget:int ->
+  finding list
+(** Validate a declared capability set against a corruption model (via
+    {!Basim.Corruption.allows_removal} /
+    {!Basim.Corruption.allows_dynamic_corruption}) and the granted
+    budget. [[]] means consistent. *)
+
+val check_adversary :
+  ('env, 'msg) Basim.Engine.adversary -> budget:int -> finding list
+(** {!check} applied to an adversary record's own declaration, name and
+    model. *)
+
+val pp_finding : Format.formatter -> finding -> unit
+
+val finding_to_json : finding -> Baobs.Json.t
+
+val decl_to_json : decl -> Baobs.Json.t
+(** [{"caps": ["midround-corruption", ...], "budget_bound": n|null}]. *)
+
+val table : (string * decl) list -> Baobs.Json.t
+(** Capability matrix of named adversaries, one object per row. *)

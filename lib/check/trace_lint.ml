@@ -1,0 +1,244 @@
+open Basim
+
+type kind =
+  | Non_monotonic_round
+  | Round_mismatch
+  | Static_midround_corruption
+  | Over_budget
+  | Removal_without_model
+  | Removal_of_uncorrupted
+  | Sent_while_corrupt
+  | Injection_from_honest
+  | Event_after_halt
+  | Accounting_mismatch
+
+type finding = {
+  kind : kind;
+  round : int;
+  node : int option;
+  detail : string;
+}
+
+let kinds =
+  [ Non_monotonic_round;
+    Round_mismatch;
+    Static_midround_corruption;
+    Over_budget;
+    Removal_without_model;
+    Removal_of_uncorrupted;
+    Sent_while_corrupt;
+    Injection_from_honest;
+    Event_after_halt;
+    Accounting_mismatch ]
+
+let kind_name = function
+  | Non_monotonic_round -> "non-monotonic-round"
+  | Round_mismatch -> "round-mismatch"
+  | Static_midround_corruption -> "static-midround-corruption"
+  | Over_budget -> "over-budget"
+  | Removal_without_model -> "removal-without-model"
+  | Removal_of_uncorrupted -> "removal-of-uncorrupted"
+  | Sent_while_corrupt -> "sent-while-corrupt"
+  | Injection_from_honest -> "injection-from-honest"
+  | Event_after_halt -> "event-after-halt"
+  | Accounting_mismatch -> "accounting-mismatch"
+
+let kind_of_name s = List.find_opt (fun k -> kind_name k = s) kinds
+
+let pp_finding fmt f =
+  Format.fprintf fmt "[%s] round %d%s: %s" (kind_name f.kind) f.round
+    (match f.node with
+    | Some i -> Printf.sprintf " node %d" i
+    | None -> "")
+    f.detail
+
+let findings_to_json findings =
+  Baobs.Json.List
+    (List.map
+       (fun f ->
+         Baobs.Json.Obj
+           [ ("kind", Baobs.Json.String (kind_name f.kind));
+             ("round", Baobs.Json.Int f.round);
+             ( "node",
+               match f.node with
+               | Some i -> Baobs.Json.Int i
+               | None -> Baobs.Json.Null );
+             ("detail", Baobs.Json.String f.detail) ])
+       findings)
+
+(* Verification walks the stream once, tracking who is corrupt (and
+   since when), who halted (and when), the round in progress, and the
+   Definition-6/7 accounting totals. *)
+type state = {
+  mutable current : int;  (* round in progress; -1 = pre-execution *)
+  mutable started : bool;  (* a Round_started has been seen *)
+  corrupt : (int, int) Hashtbl.t;  (* node -> corruption round *)
+  halted : (int, int) Hashtbl.t;  (* node -> halt round *)
+  mutable corruptions : int;  (* distinct corrupted nodes *)
+  mutable multicasts : int;
+  mutable multicast_bits : int;
+  mutable unicasts : int;
+  mutable removals : int;
+  mutable injections : int;
+  mutable findings : finding list;  (* reversed *)
+}
+
+let report st kind ~round ~node detail =
+  st.findings <- { kind; round; node; detail } :: st.findings
+
+let check_event_round st ~round ~node detail =
+  if round <> st.current then
+    report st Round_mismatch ~round ~node
+      (Printf.sprintf "%s carries round %d while round %d is in progress"
+         detail round st.current)
+
+(* An honest send's accounting footprint — shared by Sent and Removed,
+   because Definition 7 charges erased honest sends too. *)
+let account st ~multicast ~recipients ~bits =
+  if multicast then begin
+    st.multicasts <- st.multicasts + 1;
+    st.multicast_bits <- st.multicast_bits + bits
+  end
+  else st.unicasts <- st.unicasts + recipients
+
+let check_send st ~round ~node ~label =
+  (match Hashtbl.find_opt st.corrupt node with
+  | Some rc when rc < round ->
+      report st Sent_while_corrupt ~round ~node:(Some node)
+        (Printf.sprintf
+           "%s by node %d, corrupt since round %d — corrupt traffic must be \
+            Injected"
+           label node rc)
+  | Some _ | None -> ());
+  match Hashtbl.find_opt st.halted node with
+  | Some rh when rh < round ->
+      report st Event_after_halt ~round ~node:(Some node)
+        (Printf.sprintf "%s by node %d, halted in round %d" label node rh)
+  | Some _ | None -> ()
+
+let observe st ~model ~budget event =
+  match event with
+  | Trace.Round_started { round } ->
+      if round <= st.current then
+        report st Non_monotonic_round ~round ~node:None
+          (Printf.sprintf "round %d started after round %d" round st.current);
+      st.current <- round;
+      st.started <- true
+  | Trace.Corrupted { round; node } ->
+      if round = -1 then begin
+        if st.started then
+          report st Round_mismatch ~round ~node:(Some node)
+            "setup-time corruption after the execution started"
+      end
+      else begin
+        check_event_round st ~round ~node:(Some node) "corruption";
+        if not (Corruption.allows_dynamic_corruption model) then
+          report st Static_midround_corruption ~round ~node:(Some node)
+            (Printf.sprintf
+               "node %d corrupted mid-execution under the %s model" node
+               (Corruption.to_string model))
+      end;
+      if not (Hashtbl.mem st.corrupt node) then begin
+        Hashtbl.replace st.corrupt node round;
+        st.corruptions <- st.corruptions + 1;
+        if st.corruptions > budget then
+          report st Over_budget ~round ~node:(Some node)
+            (Printf.sprintf "%d nodes corrupted, budget is %d" st.corruptions
+               budget)
+      end
+  | Trace.Removed { round; victim; multicast; recipients; bits } ->
+      check_event_round st ~round ~node:(Some victim) "removal";
+      if not (Corruption.allows_removal model) then
+        report st Removal_without_model ~round ~node:(Some victim)
+          (Printf.sprintf
+             "after-the-fact removal under the %s model (strongly adaptive \
+              only)"
+             (Corruption.to_string model));
+      (match Hashtbl.find_opt st.corrupt victim with
+      | Some rc when rc = round -> ()
+      | Some rc ->
+          report st Removal_of_uncorrupted ~round ~node:(Some victim)
+            (Printf.sprintf
+               "victim %d was corrupted in round %d, not in the removal round"
+               victim rc)
+      | None ->
+          report st Removal_of_uncorrupted ~round ~node:(Some victim)
+            (Printf.sprintf "victim %d is honest" victim));
+      st.removals <- st.removals + 1;
+      account st ~multicast ~recipients ~bits
+  | Trace.Sent { round; node; multicast; recipients; bits } ->
+      check_event_round st ~round ~node:(Some node) "send";
+      check_send st ~round ~node ~label:"send";
+      account st ~multicast ~recipients ~bits
+  | Trace.Injected { round; src; recipients = _ } ->
+      check_event_round st ~round ~node:(Some src) "injection";
+      (match Hashtbl.find_opt st.corrupt src with
+      | Some rc when rc <= round -> ()
+      | Some rc ->
+          report st Injection_from_honest ~round ~node:(Some src)
+            (Printf.sprintf
+               "injection from node %d before its corruption in round %d" src
+               rc)
+      | None ->
+          report st Injection_from_honest ~round ~node:(Some src)
+            (Printf.sprintf "injection from honest node %d" src));
+      st.injections <- st.injections + 1
+  | Trace.Halted { round; node; output = _ } ->
+      check_event_round st ~round ~node:(Some node) "halt";
+      (match Hashtbl.find_opt st.halted node with
+      | Some rh ->
+          report st Event_after_halt ~round ~node:(Some node)
+            (Printf.sprintf "node %d halted again (first halt in round %d)"
+               node rh)
+      | None -> Hashtbl.replace st.halted node round)
+
+let check_metrics st metrics =
+  let expect label got want =
+    if got <> want then
+      report st Accounting_mismatch ~round:st.current ~node:None
+        (Printf.sprintf "%s: trace reconstructs %d, metrics say %d" label got
+           want)
+  in
+  expect "honest multicasts (sent + removed)" st.multicasts
+    (Metrics.honest_multicasts metrics);
+  expect "multicast bits (Definition 7)" st.multicast_bits
+    (Metrics.honest_multicast_bits metrics);
+  expect "honest unicasts" st.unicasts (Metrics.honest_unicasts metrics);
+  expect "removals" st.removals (Metrics.removals metrics);
+  expect "injections" st.injections (Metrics.injections metrics);
+  expect "rounds" (st.current + 1) (Metrics.rounds metrics)
+
+let verify ?metrics ~model ~budget events =
+  let st =
+    { current = -1;
+      started = false;
+      corrupt = Hashtbl.create 64;
+      halted = Hashtbl.create 64;
+      corruptions = 0;
+      multicasts = 0;
+      multicast_bits = 0;
+      unicasts = 0;
+      removals = 0;
+      injections = 0;
+      findings = [] }
+  in
+  List.iter (observe st ~model ~budget) events;
+  (match metrics with Some m -> check_metrics st m | None -> ());
+  List.rev st.findings
+
+let verify_collector ?metrics ~model ~budget collector =
+  verify ?metrics ~model ~budget (Trace.events collector)
+
+let events_of_jsonl contents =
+  String.split_on_char '\n' contents
+  |> List.filter_map (fun line ->
+         if String.trim line = "" then None
+         else Some (Trace.of_json (Baobs.Json.of_string line)))
+
+let load_jsonl path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let len = in_channel_length ic in
+      events_of_jsonl (really_input_string ic len))

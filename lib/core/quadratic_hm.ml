@@ -319,7 +319,7 @@ let protocol ?(max_iters = 40) () =
                 end
                 else begin
                   let bits =
-                    List.sort_uniq compare
+                    List.sort_uniq Bool.compare
                       (List.filter_map
                          (fun p -> if p.p_iter = iter then Some p.p_bit else None)
                          state.proposals)

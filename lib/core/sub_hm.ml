@@ -321,7 +321,7 @@ let protocol ~params ~world =
                       make_vote ~iter ~bit:state.input ~proposal:None ~cred)
                 else begin
                   let bits =
-                    List.sort_uniq compare
+                    List.sort_uniq Bool.compare
                       (List.filter_map
                          (fun p -> if p.p_iter = iter then Some p.p_bit else None)
                          state.proposals)

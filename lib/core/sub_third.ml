@@ -98,7 +98,7 @@ let choose_ack (env : env) (state : state) ~epoch ~inbox =
   in
   if state.sticky then state.belief
   else
-    match List.sort_uniq compare proposals with
+    match List.sort_uniq Bool.compare proposals with
     | [] -> state.belief
     | [ b ] -> b
     | _ :: _ -> false (* conflicting proposals: arbitrary bit *)

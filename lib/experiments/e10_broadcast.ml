@@ -12,6 +12,9 @@ let passive () = Engine.passive ~name:"none" ~model:Corruption.Adaptive
 let equivocating_sender ~sender () =
   { Engine.adv_name = "equivocating-sender";
     model = Corruption.Static;
+    caps =
+      { Capability.caps = [ Capability.Setup_corruption; Capability.Injection ];
+        budget_bound = None };
     setup = (fun _ ~n:_ ~budget:_ ~rng:_ -> [ sender ]);
     intervene =
       (fun view ->

@@ -242,7 +242,7 @@ let of_string s =
 
 let member name = function
   | Obj fields -> List.assoc_opt name fields
-  | _ -> None
+  | Null | Bool _ | Int _ | Float _ | String _ | List _ -> None
 
 let member_exn name j =
   match member name j with
@@ -251,21 +251,26 @@ let member_exn name j =
 
 let as_int = function
   | Int i -> i
-  | j -> raise (Parse_error ("expected int, got " ^ to_string j))
+  | (Null | Bool _ | Float _ | String _ | List _ | Obj _) as j ->
+      raise (Parse_error ("expected int, got " ^ to_string j))
 
 let as_float = function
   | Float f -> f
   | Int i -> float_of_int i
-  | j -> raise (Parse_error ("expected number, got " ^ to_string j))
+  | (Null | Bool _ | String _ | List _ | Obj _) as j ->
+      raise (Parse_error ("expected number, got " ^ to_string j))
 
 let as_string = function
   | String s -> s
-  | j -> raise (Parse_error ("expected string, got " ^ to_string j))
+  | (Null | Bool _ | Int _ | Float _ | List _ | Obj _) as j ->
+      raise (Parse_error ("expected string, got " ^ to_string j))
 
 let as_bool = function
   | Bool b -> b
-  | j -> raise (Parse_error ("expected bool, got " ^ to_string j))
+  | (Null | Int _ | Float _ | String _ | List _ | Obj _) as j ->
+      raise (Parse_error ("expected bool, got " ^ to_string j))
 
 let as_list = function
   | List l -> l
-  | j -> raise (Parse_error ("expected list, got " ^ to_string j))
+  | (Null | Bool _ | Int _ | Float _ | String _ | Obj _) as j ->
+      raise (Parse_error ("expected list, got " ^ to_string j))

@@ -53,7 +53,7 @@ let snapshot () =
     (fun _ p acc ->
       if p.count > 0 then (p.name, p.count, p.total_ns) :: acc else acc)
     registry []
-  |> List.sort compare
+  |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b)
 
 let to_json () =
   Json.List

@@ -86,7 +86,8 @@ let fold t f acc =
     | Some b ->
         (* Sort within the bucket for deterministic iteration order. *)
         Hashtbl.fold (fun key v l -> (key, v) :: l) b []
-        |> List.sort compare
+        |> List.sort (fun (k1, v1) (k2, v2) ->
+               match Int.compare k1 k2 with 0 -> Int.compare v1 v2 | c -> c)
         |> List.iter (fun (key, v) ->
                let node = key / n_kinds in
                let kind = List.nth all_kinds (key mod n_kinds) in
@@ -140,7 +141,7 @@ let cells t =
           b;
         let nodes =
           Hashtbl.fold (fun node c l -> (node, c) :: l) per_node []
-          |> List.sort compare
+          |> List.sort (fun (n1, _) (n2, _) -> Int.compare n1 n2)
         in
         rounds := (idx - 1, nodes) :: !rounds
     | Some _ -> ()

@@ -39,6 +39,7 @@ exception Illegal_action of string
 type ('env, 'msg) adversary = {
   adv_name : string;
   model : Corruption.model;
+  caps : Capability.decl;
   setup : 'env -> n:int -> budget:int -> rng:Bacrypto.Rng.t -> int list;
   intervene : ('env, 'msg) view -> 'msg action list;
 }
@@ -46,6 +47,7 @@ type ('env, 'msg) adversary = {
 let passive ~name ~model =
   { adv_name = name;
     model;
+    caps = Capability.none;
     setup = (fun _ ~n:_ ~budget:_ ~rng:_ -> []);
     intervene = (fun _ -> []) }
 
@@ -77,10 +79,31 @@ let p_step = Baobs.Probe.register "engine.honest_step"
 let p_adversary = Baobs.Probe.register "engine.adversary"
 let p_delivery = Baobs.Probe.register "engine.delivery"
 
-let run_env ?(tracer = fun (_ : Trace.event) -> ()) ?series proto ~adversary ~n
-    ~budget ~inputs ~max_rounds ~seed =
+let run_env ?(tracer = fun (_ : Trace.event) -> ()) ?series
+    ?(on_caps_mismatch = `Refuse) proto ~adversary ~n ~budget ~inputs
+    ~max_rounds ~seed =
   if Array.length inputs <> n then
     invalid_arg "Engine.run: inputs length must equal n";
+  (* Declaration-vs-model consistency, checked before a single round
+     runs: an adversary whose declared capability set exceeds what its
+     model grants is refused outright (or warned about, behind the
+     flag). *)
+  (match Capability.validate adversary.caps ~model:adversary.model ~budget with
+  | [] -> ()
+  | mismatches -> (
+      let msg =
+        Printf.sprintf "adversary %s: %s" adversary.adv_name
+          (String.concat "; "
+             (List.map Capability.mismatch_to_string mismatches))
+      in
+      match on_caps_mismatch with
+      | `Refuse -> raise (Illegal_action msg)
+      | `Warn -> Printf.eprintf "warning: %s\n%!" msg));
+  let require_cap cap =
+    if not (Capability.has adversary.caps cap) then
+      illegal "adversary %s did not declare the %s capability"
+        adversary.adv_name (Capability.name cap)
+  in
   let srec ~round ~node kind by =
     match series with
     | Some s -> Baobs.Series.record ~by s ~round ~node kind
@@ -91,13 +114,22 @@ let run_env ?(tracer = fun (_ : Trace.event) -> ()) ?series proto ~adversary ~n
   let adv_rng = Bacrypto.Rng.split_named root "adversary" in
   let env = proto.make_env ~n env_rng in
   let tracker = Corruption.create ~n ~budget in
+  let check_budget_bound () =
+    match adversary.caps.Capability.budget_bound with
+    | Some bound when Corruption.count tracker > bound ->
+        illegal "adversary %s exceeded its declared budget bound %d"
+          adversary.adv_name bound
+    | Some _ | None -> ()
+  in
   (* Setup-time (static) corruptions happen before any node runs. *)
   let initial = adversary.setup env ~n ~budget ~rng:adv_rng in
+  if initial <> [] then require_cap Capability.Setup_corruption;
   List.iter
     (fun i ->
       if i < 0 || i >= n then illegal "setup corruption out of range: %d" i;
       if not (Corruption.corrupt_now tracker ~round:(-1) i) then
         illegal "setup corruptions exceed budget";
+      check_budget_bound ();
       srec ~round:(-1) ~node:i Baobs.Series.Corruption 1;
       tracer (Trace.Corrupted { round = -1; node = i }))
     initial;
@@ -170,13 +202,16 @@ let run_env ?(tracer = fun (_ : Trace.event) -> ()) ?series proto ~adversary ~n
           if i < 0 || i >= n then illegal "corrupt out of range: %d" i;
           if not (Corruption.allows_dynamic_corruption adversary.model) then
             illegal "static adversary cannot corrupt mid-execution";
+          require_cap Capability.Midround_corruption;
           if not (Corruption.corrupt_now tracker ~round:r i) then
             illegal "corruption budget exhausted";
+          check_budget_bound ();
           srec ~round:r ~node:i Baobs.Series.Corruption 1;
           tracer (Trace.Corrupted { round = r; node = i })
       | Remove { victim; index } ->
           if not (Corruption.allows_removal adversary.model) then
             illegal "after-the-fact removal requires a strongly adaptive adversary";
+          require_cap Capability.After_fact_removal;
           if not (Corruption.is_corrupt tracker victim) then
             illegal "cannot remove messages of an honest node (corrupt it first)";
           let found = ref false and seen = ref 0 in
@@ -209,6 +244,7 @@ let run_env ?(tracer = fun (_ : Trace.event) -> ()) ?series proto ~adversary ~n
           if src < 0 || src >= n then illegal "inject src out of range: %d" src;
           if not (Corruption.is_corrupt tracker src) then
             illegal "only corrupt nodes can be driven by the adversary";
+          require_cap Capability.Injection;
           let bits = proto.msg_bits env payload in
           Metrics.record_injection metrics ~bits;
           srec ~round:r ~node:src Baobs.Series.Injection 1;
@@ -311,7 +347,8 @@ let run_env ?(tracer = fun (_ : Trace.event) -> ()) ?series proto ~adversary ~n
       all_honest_decided;
       halt_rounds } )
 
-let run ?tracer ?series proto ~adversary ~n ~budget ~inputs ~max_rounds ~seed =
+let run ?tracer ?series ?on_caps_mismatch proto ~adversary ~n ~budget ~inputs
+    ~max_rounds ~seed =
   snd
-    (run_env ?tracer ?series proto ~adversary ~n ~budget ~inputs ~max_rounds
-       ~seed)
+    (run_env ?tracer ?series ?on_caps_mismatch proto ~adversary ~n ~budget
+       ~inputs ~max_rounds ~seed)

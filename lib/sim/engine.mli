@@ -101,9 +101,16 @@ exception Illegal_action of string
 type ('env, 'msg) adversary = {
   adv_name : string;
   model : Corruption.model;
+  caps : Capability.decl;
+      (** Declared capability set. Checked against [model] before the
+          first round (see [on_caps_mismatch] on {!run}); every runtime
+          action additionally requires its capability to be declared, so
+          an adversary can exercise strictly less power than declared —
+          never more. *)
   setup : 'env -> n:int -> budget:int -> rng:Bacrypto.Rng.t -> int list;
       (** Pre-execution (static) corruptions; the only corruption chance
-          for a [Static] adversary. *)
+          for a [Static] adversary. Requires
+          {!Capability.Setup_corruption} when non-empty. *)
   intervene : ('env, 'msg) view -> 'msg action list;
       (** Mid-round intervention; actions are applied in order. *)
 }
@@ -127,6 +134,7 @@ type result = {
 val run :
   ?tracer:(Trace.event -> unit) ->
   ?series:Baobs.Series.t ->
+  ?on_caps_mismatch:[ `Refuse | `Warn ] ->
   ('env, 'state, 'msg) protocol ->
   adversary:('env, 'msg) adversary ->
   n:int ->
@@ -142,12 +150,20 @@ val run :
     aggregates at the end of the run). The engine's three phases are
     additionally timed under the [engine.*] {!Baobs.Probe}s when the
     probe registry is enabled.
+
+    [on_caps_mismatch] (default [`Refuse]) governs what happens when the
+    adversary's declared {!Capability.decl} is inconsistent with its
+    model ({!Capability.validate}): [`Refuse] raises {!Illegal_action}
+    before any round runs, [`Warn] prints the mismatches to stderr and
+    proceeds (runtime refereeing still applies).
     @raise Invalid_argument if [Array.length inputs <> n].
-    @raise Illegal_action if the adversary violates its model. *)
+    @raise Illegal_action if the adversary violates its model or exceeds
+    its declared capabilities. *)
 
 val run_env :
   ?tracer:(Trace.event -> unit) ->
   ?series:Baobs.Series.t ->
+  ?on_caps_mismatch:[ `Refuse | `Warn ] ->
   ('env, 'state, 'msg) protocol ->
   adversary:('env, 'msg) adversary ->
   n:int ->

@@ -82,6 +82,43 @@ let to_json event =
           ( "output",
             match output with Some b -> Bool b | None -> Null ) ]
 
+let of_json json =
+  let open Baobs.Json in
+  let fail msg = raise (Parse_error ("Trace.of_json: " ^ msg)) in
+  let int k = as_int (member_exn k json) in
+  let bool k = as_bool (member_exn k json) in
+  match as_string (member_exn "event" json) with
+  | "round_started" -> Round_started { round = int "round" }
+  | "sent" ->
+      Sent
+        { round = int "round";
+          node = int "node";
+          multicast = bool "multicast";
+          recipients = int "recipients";
+          bits = int "bits" }
+  | "corrupted" -> Corrupted { round = int "round"; node = int "node" }
+  | "removed" ->
+      Removed
+        { round = int "round";
+          victim = int "victim";
+          multicast = bool "multicast";
+          recipients = int "recipients";
+          bits = int "bits" }
+  | "injected" ->
+      Injected
+        { round = int "round"; src = int "src"; recipients = int "recipients" }
+  | "halted" ->
+      Halted
+        { round = int "round";
+          node = int "node";
+          output =
+            (match member_exn "output" json with
+            | Null -> None
+            | Bool b -> Some b
+            | Int _ | Float _ | String _ | List _ | Obj _ ->
+                fail "halted output must be a bool or null") }
+  | kind -> fail (Printf.sprintf "unknown event kind %S" kind)
+
 (* ---------- collectors -------------------------------------------------- *)
 
 type collector = {

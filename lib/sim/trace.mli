@@ -40,6 +40,14 @@ val kind_of : event -> string
 
 val to_json : event -> Baobs.Json.t
 
+val of_json : Baobs.Json.t -> event
+(** Inverse of {!to_json} — the contract {!Bacheck.Trace_lint}'s file
+    mode relies on: [of_json (to_json e) = e] for every event, so a
+    [--trace-jsonl] file re-parses into the exact trace that was
+    recorded.
+    @raise Baobs.Json.Parse_error on missing fields, wrong field types,
+    or an unknown ["event"] tag. *)
+
 type collector
 
 val collector : unit -> collector

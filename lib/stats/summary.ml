@@ -26,7 +26,7 @@ let of_list samples =
   let n = List.length samples in
   if n = 0 then invalid_arg "Summary.of_list: empty";
   let arr = Array.of_list samples in
-  Array.sort compare arr;
+  Array.sort Float.compare arr;
   let fn = float_of_int n in
   let mean = List.fold_left ( +. ) 0.0 samples /. fn in
   let var =

@@ -380,6 +380,7 @@ let test_broadcast_silent_corrupt_sender_consistent () =
   let adversary =
     { Engine.adv_name = "silence-sender";
       model = Corruption.Static;
+      caps = { Capability.caps = [ Capability.Setup_corruption ]; budget_bound = None };
       setup = (fun _ ~n:_ ~budget:_ ~rng:_ -> [ 0 ]);
       intervene = (fun _ -> []) }
   in

@@ -77,6 +77,13 @@ let test_deterministic_in_seed () =
 let corrupt_then_remove_adversary model =
   { Engine.adv_name = "remove-0";
     model;
+    caps =
+      { Capability.caps =
+          (Capability.Midround_corruption
+          :: (if Corruption.allows_removal model then
+                [ Capability.After_fact_removal ]
+              else []));
+        budget_bound = None };
     setup = (fun _ ~n:_ ~budget:_ ~rng:_ -> []);
     intervene =
       (fun view ->
@@ -111,6 +118,7 @@ let test_adaptive_corruption_keeps_intent () =
   let adversary =
     { Engine.adv_name = "corrupt-only";
       model = Corruption.Adaptive;
+      caps = { Capability.caps = [ Capability.Midround_corruption ]; budget_bound = None };
       setup = (fun _ ~n:_ ~budget:_ ~rng:_ -> []);
       intervene =
         (fun view ->
@@ -127,6 +135,7 @@ let test_remove_requires_corrupt_victim () =
   let adversary =
     { Engine.adv_name = "remove-honest";
       model = Corruption.Strongly_adaptive;
+      caps = { Capability.caps = [ Capability.After_fact_removal ]; budget_bound = None };
       setup = (fun _ ~n:_ ~budget:_ ~rng:_ -> []);
       intervene =
         (fun view ->
@@ -143,6 +152,7 @@ let test_budget_enforced () =
   let adversary =
     { Engine.adv_name = "over-budget";
       model = Corruption.Adaptive;
+      caps = { Capability.caps = [ Capability.Midround_corruption ]; budget_bound = None };
       setup = (fun _ ~n:_ ~budget:_ ~rng:_ -> []);
       intervene =
         (fun view ->
@@ -156,6 +166,7 @@ let test_static_cannot_corrupt_midway () =
   let adversary =
     { Engine.adv_name = "static-late";
       model = Corruption.Static;
+      caps = { Capability.caps = []; budget_bound = None };
       setup = (fun _ ~n:_ ~budget:_ ~rng:_ -> []);
       intervene =
         (fun view -> if view.Engine.round = 0 then [ Engine.Corrupt 0 ] else []) }
@@ -168,6 +179,7 @@ let test_static_setup_corruption_silences_node () =
   let adversary =
     { Engine.adv_name = "static-setup";
       model = Corruption.Static;
+      caps = { Capability.caps = [ Capability.Setup_corruption ]; budget_bound = None };
       setup = (fun _ ~n:_ ~budget:_ ~rng:_ -> [ 0 ]);
       intervene = (fun _ -> []) }
   in
@@ -185,6 +197,7 @@ let test_injection_requires_corrupt_source () =
   let adversary =
     { Engine.adv_name = "spoof";
       model = Corruption.Adaptive;
+      caps = { Capability.caps = [ Capability.Injection ]; budget_bound = None };
       setup = (fun _ ~n:_ ~budget:_ ~rng:_ -> []);
       intervene =
         (fun view ->
@@ -202,6 +215,7 @@ let test_equivocation_via_targeted_injection () =
   let adversary =
     { Engine.adv_name = "equivocator";
       model = Corruption.Adaptive;
+      caps = { Capability.caps = [ Capability.Setup_corruption; Capability.Injection ]; budget_bound = None };
       setup = (fun _ ~n:_ ~budget:_ ~rng:_ -> [ 0 ]);
       intervene =
         (fun view ->
@@ -250,6 +264,7 @@ let test_validity_ignores_corrupt_inputs () =
   let adversary =
     { Engine.adv_name = "corrupt-4";
       model = Corruption.Static;
+      caps = { Capability.caps = [ Capability.Setup_corruption ]; budget_bound = None };
       setup = (fun _ ~n:_ ~budget:_ ~rng:_ -> [ 4 ]);
       intervene = (fun _ -> []) }
   in
@@ -297,6 +312,7 @@ let test_trace_injection_events () =
   let adversary =
     { Engine.adv_name = "injector";
       model = Corruption.Adaptive;
+      caps = { Capability.caps = [ Capability.Setup_corruption; Capability.Injection ]; budget_bound = None };
       setup = (fun _ ~n:_ ~budget:_ ~rng:_ -> [ 0 ]);
       intervene =
         (fun view ->
@@ -424,6 +440,13 @@ let test_input_generators () =
 let fuzz_adversary ~plan ~model =
   { Engine.adv_name = "fuzz";
     model;
+    caps =
+      { Capability.caps =
+          (Capability.Midround_corruption :: Capability.Injection
+          :: (if Corruption.allows_removal model then
+                [ Capability.After_fact_removal ]
+              else []));
+        budget_bound = None };
     setup = (fun _ ~n:_ ~budget:_ ~rng:_ -> []);
     intervene =
       (fun view ->
