@@ -3,12 +3,17 @@
    Part 1 regenerates every experiment table (E1–E11, the paper's
    theorem-level claims) — the output recorded in EXPERIMENTS.md.
 
-   Part 2 is a Bechamel suite: one Test.make per experiment workload (a
+   Part 2 times an E2-style Monte-Carlo sweep sequentially and on the
+   --jobs domain pool, checks the aggregates are bit-identical, and
+   records the measured speedup.
+
+   Part 3 is a Bechamel suite: one Test.make per experiment workload (a
    single representative trial of each), plus micro-benchmarks of the
    cryptographic substrate.
 
-     dune exec bench/main.exe            # full run
-     dune exec bench/main.exe -- --quick # reduced repetitions
+     dune exec bench/main.exe              # full run
+     dune exec bench/main.exe -- --quick   # reduced repetitions
+     dune exec bench/main.exe -- --jobs 4  # trial parallelism
 *)
 
 open Bechamel
@@ -18,11 +23,69 @@ open Bacore
 
 let quick = Array.exists (fun a -> a = "--quick") Sys.argv
 
+let jobs =
+  let rec find i =
+    if i + 1 >= Array.length Sys.argv then None
+    else if Sys.argv.(i) = "--jobs" then int_of_string_opt Sys.argv.(i + 1)
+    else find (i + 1)
+  in
+  match find 1 with Some j when j >= 1 -> j | Some _ | None -> Bapar.Pool.default_jobs ()
+
+let () = Baexperiments.Common.set_jobs jobs
+
 (* ---------- Part 1: experiment tables --------------------------------- *)
 
 let () = Baexperiments.All.run_all ~quick ()
 
-(* ---------- Part 2: Bechamel ------------------------------------------- *)
+(* ---------- Part 2: parallel trial-runner speedup ---------------------- *)
+
+(* An E2-style sweep: passive sub-hm at n = 401, the workload every
+   large-n scaling experiment is made of. Timed once sequentially and
+   once on the pool; the aggregates must be bit-identical (that is the
+   Bapar contract), and the ratio is the machine's measured trial-level
+   speedup, recorded in BENCH_1.json. *)
+let speedup_sweep ~jobs () =
+  let params = Params.make ~lambda:40 ~max_epochs:60 () in
+  let proto = Sub_hm.protocol ~params ~world:`Hybrid in
+  Baexperiments.Common.measure ~jobs ~reps:(if quick then 4 else 12) ~seed:2L
+    (fun s ->
+      let inputs = Scenario.random_inputs ~n:401 s in
+      let result =
+        Engine.run proto
+          ~adversary:(Engine.passive ~name:"none" ~model:Corruption.Adaptive)
+          ~n:401 ~budget:0 ~inputs ~max_rounds:250 ~seed:s
+      in
+      (result, Properties.agreement ~inputs result))
+
+let time_s f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (Unix.gettimeofday () -. t0, r)
+
+let parallel_summary =
+  print_endline "\n### Parallel trial runner (E2-style sweep, n = 401)\n";
+  let seq_s, seq_rates = time_s (speedup_sweep ~jobs:1) in
+  let par_s, par_rates = time_s (speedup_sweep ~jobs) in
+  let identical =
+    Baobs.Json.to_string (Baexperiments.Common.rates_to_json seq_rates)
+    = Baobs.Json.to_string (Baexperiments.Common.rates_to_json par_rates)
+  in
+  let speedup = if par_s > 0.0 then seq_s /. par_s else 0.0 in
+  Printf.printf "jobs 1: %.3f s   jobs %d: %.3f s   speedup: %.2fx   \
+                 aggregates identical: %b\n"
+    seq_s jobs par_s speedup identical;
+  if not identical then begin
+    prerr_endline "bench: parallel aggregates diverged from sequential";
+    exit 1
+  end;
+  Baobs.Json.Obj
+    [ ("jobs", Baobs.Json.Int jobs);
+      ("seq_s", Baobs.Json.Float seq_s);
+      ("par_s", Baobs.Json.Float par_s);
+      ("speedup", Baobs.Json.Float speedup);
+      ("deterministic", Baobs.Json.Bool identical) ]
+
+(* ---------- Part 3: Bechamel ------------------------------------------- *)
 
 let passive () = Engine.passive ~name:"none" ~model:Corruption.Adaptive
 
@@ -233,6 +296,7 @@ let write_bench_json ~quota_s named =
       [ ("schema", String "ba-bench/v1");
         ("quick", Bool quick);
         ("quota_s", Float quota_s);
+        ("parallel", parallel_summary);
         ("results", List results);
         ("engine_counters", List (engine_counter_summaries ())) ]
   in

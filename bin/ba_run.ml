@@ -84,10 +84,28 @@ let print_result ~label ~inputs result =
     (List.length decided - ones);
   if Properties.ok verdict then 0 else 2
 
+(* Monte-Carlo sweep (--reps > 1): the single configuration repeated
+   over derived seeds — fresh inputs, adversary and protocol state per
+   trial — aggregated through the deterministic parallel trial runner,
+   so the printed rates are identical for every --jobs value. *)
+let print_rates ~label (rates : Baexperiments.Common.rates) =
+  let open Baexperiments.Common in
+  Printf.printf "protocol      : %s\n" label;
+  Printf.printf "trials        : %d\n" rates.trials;
+  Printf.printf "non-term      : %s\n" (rate rates.termination_fail rates.trials);
+  Printf.printf "inconsistent  : %s\n" (rate rates.consistency_fail rates.trials);
+  Printf.printf "invalid       : %s\n" (rate rates.validity_fail rates.trials);
+  Printf.printf "mean rounds   : %.2f\n" (mean_rounds rates);
+  Printf.printf "mean multicast: %.2f\n" (mean_multicasts rates);
+  Printf.printf "mean unicasts : %.2f\n" (mean_unicasts rates);
+  Printf.printf "mean removals : %.2f\n" (mean_removals rates);
+  Printf.printf "mean corrupt  : %.2f\n" (mean_corruptions rates)
+
 (* Each protocol has its own message type, so the dispatch instantiates
    engine, adversary, and printer together. *)
-let dispatch proto adv ~n ~budget ~lambda ~epochs ~inputs_choice ~seed ~trace
-    ~trace_jsonl ~metrics_json ~timings ~check_trace ~lenient_caps =
+let dispatch proto adv ~n ~budget ~lambda ~epochs ~inputs_choice ~seed ~reps
+    ~jobs ~trace ~trace_jsonl ~metrics_json ~timings ~check_trace ~lenient_caps
+    =
   let collector =
     if trace || check_trace then Some (Trace.collector ()) else None
   in
@@ -145,9 +163,10 @@ let dispatch proto adv ~n ~budget ~lambda ~epochs ~inputs_choice ~seed ~trace
   let max_rounds = (4 * epochs) + 12 in
   let generic_adv () =
     match adv with
-    | A_none -> Ok (Engine.passive ~name:"none" ~model:Corruption.Adaptive)
-    | A_eraser -> Ok (Baattacks.Eraser.make ())
-    | A_silencer -> Ok (Baattacks.Eraser.silencer ())
+    | A_none ->
+        Ok (fun () -> Engine.passive ~name:"none" ~model:Corruption.Adaptive)
+    | A_eraser -> Ok (fun () -> Baattacks.Eraser.make ())
+    | A_silencer -> Ok (fun () -> Baattacks.Eraser.silencer ())
     | A_split | A_equivocator | A_cm_equivocator ->
         Error "this adversary only targets specific protocols"
   in
@@ -180,16 +199,66 @@ let dispatch proto adv ~n ~budget ~lambda ~epochs ~inputs_choice ~seed ~trace
             3
           end
   in
-  let run_proto proto_rec label adversary =
-    let result =
-      Engine.run ~tracer ?series ~on_caps_mismatch proto_rec ~adversary ~n
-        ~budget ~inputs ~max_rounds ~seed:seed64
-    in
-    print_trace ();
-    finish ~label result;
-    let check_code = run_check_trace adversary result in
-    let verdict_code = print_result ~label ~inputs result in
-    if check_code <> 0 then check_code else verdict_code
+  let run_sweep proto_rec label make_adv =
+    if trace || check_trace || trace_jsonl <> None then begin
+      prerr_endline
+        "ba_run: --trace/--trace-jsonl/--check-trace observe a single \
+         execution; drop them or use --reps 1";
+      1
+    end
+    else begin
+      let rates =
+        Baexperiments.Common.measure ?jobs ~reps ~seed:seed64 (fun s ->
+            let inputs = make_inputs inputs_choice ~n ~seed:s in
+            let result =
+              Engine.run ~on_caps_mismatch proto_rec ~adversary:(make_adv ())
+                ~n ~budget ~inputs ~max_rounds ~seed:s
+            in
+            (result, Properties.agreement ~inputs result))
+      in
+      print_rates ~label rates;
+      if timings then begin
+        print_endline "--- timings ---";
+        print_string (Baobs.Probe.report ())
+      end;
+      (match metrics_json with
+      | Some path ->
+          let json =
+            Baobs.Json.Obj
+              [ ("protocol", Baobs.Json.String label);
+                ("n", Baobs.Json.Int n);
+                ("budget", Baobs.Json.Int budget);
+                ("seed", Baobs.Json.Int seed);
+                ("reps", Baobs.Json.Int reps);
+                ("rates", Baexperiments.Common.rates_to_json rates) ]
+          in
+          let oc = open_out path in
+          output_string oc (Baobs.Json.to_string json);
+          output_char oc '\n';
+          close_out oc
+      | None -> ());
+      if
+        rates.Baexperiments.Common.consistency_fail = 0
+        && rates.Baexperiments.Common.validity_fail = 0
+        && rates.Baexperiments.Common.termination_fail = 0
+      then 0
+      else 2
+    end
+  in
+  let run_proto proto_rec label make_adv =
+    if reps > 1 then run_sweep proto_rec label make_adv
+    else begin
+      let adversary = make_adv () in
+      let result =
+        Engine.run ~tracer ?series ~on_caps_mismatch proto_rec ~adversary ~n
+          ~budget ~inputs ~max_rounds ~seed:seed64
+      in
+      print_trace ();
+      finish ~label result;
+      let check_code = run_check_trace adversary result in
+      let verdict_code = print_result ~label ~inputs result in
+      if check_code <> 0 then check_code else verdict_code
+    end
   in
   let run_generic proto_rec label =
     match generic_adv () with
@@ -220,10 +289,11 @@ let dispatch proto adv ~n ~budget ~lambda ~epochs ~inputs_choice ~seed ~trace
       let proto_rec = Babaselines.Chen_micali.protocol ~params ~erasure in
       let adversary =
         match adv with
-        | A_none -> Ok (Engine.passive ~name:"none" ~model:Corruption.Adaptive)
-        | A_eraser -> Ok (Baattacks.Eraser.make ())
-        | A_silencer -> Ok (Baattacks.Eraser.silencer ())
-        | A_cm_equivocator -> Ok (Baattacks.Cm_equivocator.make ())
+        | A_none ->
+            Ok (fun () -> Engine.passive ~name:"none" ~model:Corruption.Adaptive)
+        | A_eraser -> Ok (fun () -> Baattacks.Eraser.make ())
+        | A_silencer -> Ok (fun () -> Baattacks.Eraser.silencer ())
+        | A_cm_equivocator -> Ok (fun () -> Baattacks.Cm_equivocator.make ())
         | A_split | A_equivocator ->
             Error "use cm-equivocator against chen-micali"
       in
@@ -244,11 +314,12 @@ let dispatch proto adv ~n ~budget ~lambda ~epochs ~inputs_choice ~seed ~trace
       let proto_rec = Sub_third.protocol ~params ~world:`Hybrid ~mode in
       let adversary =
         match adv with
-        | A_none -> Ok (Engine.passive ~name:"none" ~model:Corruption.Adaptive)
-        | A_eraser -> Ok (Baattacks.Eraser.make ())
-        | A_silencer -> Ok (Baattacks.Eraser.silencer ())
-        | A_split -> Ok (Baattacks.Split_vote.sub_third ())
-        | A_equivocator -> Ok (Baattacks.Equivocator.make ())
+        | A_none ->
+            Ok (fun () -> Engine.passive ~name:"none" ~model:Corruption.Adaptive)
+        | A_eraser -> Ok (fun () -> Baattacks.Eraser.make ())
+        | A_silencer -> Ok (fun () -> Baattacks.Eraser.silencer ())
+        | A_split -> Ok (fun () -> Baattacks.Split_vote.sub_third ())
+        | A_equivocator -> Ok (fun () -> Baattacks.Equivocator.make ())
         | A_cm_equivocator -> Error "cm-equivocator targets chen-micali"
       in
       (match adversary with
@@ -261,10 +332,11 @@ let dispatch proto adv ~n ~budget ~lambda ~epochs ~inputs_choice ~seed ~trace
       let proto_rec = Sub_hm.protocol ~params ~world in
       let adversary =
         match adv with
-        | A_none -> Ok (Engine.passive ~name:"none" ~model:Corruption.Adaptive)
-        | A_eraser -> Ok (Baattacks.Eraser.make ())
-        | A_silencer -> Ok (Baattacks.Eraser.silencer ())
-        | A_split -> Ok (Baattacks.Split_vote.sub_hm ())
+        | A_none ->
+            Ok (fun () -> Engine.passive ~name:"none" ~model:Corruption.Adaptive)
+        | A_eraser -> Ok (fun () -> Baattacks.Eraser.make ())
+        | A_silencer -> Ok (fun () -> Baattacks.Eraser.silencer ())
+        | A_split -> Ok (fun () -> Baattacks.Split_vote.sub_hm ())
         | A_equivocator | A_cm_equivocator ->
             Error "the equivocators target sub-third / chen-micali"
       in
@@ -306,6 +378,25 @@ let inputs_arg =
     & info [ "inputs" ] ~docv:"KIND" ~doc:"Input bits: zeros, ones, split, random.")
 
 let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"RNG seed.")
+
+let reps_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "reps" ] ~docv:"N"
+        ~doc:
+          "Repeat the configuration over $(docv) derived seeds and print \
+           aggregate rates instead of one run's verdict (exit 2 if any \
+           trial failed a property).")
+
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "With --reps, run trials on $(docv) domains (default: BA_JOBS or \
+           the machine's recommended domain count). Aggregates are \
+           byte-identical for every $(docv).")
 
 let trace_arg =
   Arg.(value & flag & info [ "trace" ] ~doc:"Print a per-round event trace.")
@@ -354,11 +445,12 @@ let lenient_caps_arg =
            declared capabilities are inconsistent with the corruption model \
            or budget.")
 
-let main proto adv n budget lambda epochs inputs_choice seed trace trace_jsonl
-    metrics_json timings check_trace lenient_caps =
+let main proto adv n budget lambda epochs inputs_choice seed reps jobs trace
+    trace_jsonl metrics_json timings check_trace lenient_caps =
   try
-    dispatch proto adv ~n ~budget ~lambda ~epochs ~inputs_choice ~seed ~trace
-      ~trace_jsonl ~metrics_json ~timings ~check_trace ~lenient_caps
+    dispatch proto adv ~n ~budget ~lambda ~epochs ~inputs_choice ~seed ~reps
+      ~jobs ~trace ~trace_jsonl ~metrics_json ~timings ~check_trace
+      ~lenient_caps
   with Sys_error e ->
     (* e.g. an unwritable --trace-jsonl / --metrics-json destination *)
     prerr_endline ("ba_run: " ^ e);
@@ -370,7 +462,8 @@ let cmd =
     (Cmd.info "ba_run" ~doc)
     Term.(
       const main $ proto_arg $ adv_arg $ n_arg $ budget_arg $ lambda_arg
-      $ epochs_arg $ inputs_arg $ seed_arg $ trace_arg $ trace_jsonl_arg
-      $ metrics_json_arg $ timings_arg $ check_trace_arg $ lenient_caps_arg)
+      $ epochs_arg $ inputs_arg $ seed_arg $ reps_arg $ jobs_arg $ trace_arg
+      $ trace_jsonl_arg $ metrics_json_arg $ timings_arg $ check_trace_arg
+      $ lenient_caps_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -22,7 +22,17 @@ let json_path =
     & info [ "json" ] ~docv:"FILE"
         ~doc:"Also write every produced table to $(docv) as JSON.")
 
-let main quick only list_flag json_path =
+let jobs =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Run Monte-Carlo trials on $(docv) domains (default: BA_JOBS or \
+           the machine's recommended domain count). Every table and the \
+           --json document are byte-identical for every $(docv).")
+
+let main quick only list_flag json_path jobs =
   if list_flag then begin
     List.iter
       (fun e ->
@@ -33,10 +43,10 @@ let main quick only list_flag json_path =
   else
     match only with
     | None ->
-        Baexperiments.All.run_all ~quick ?json_path ();
+        Baexperiments.All.run_all ~quick ?jobs ?json_path ();
         0
     | Some id ->
-        if Baexperiments.All.run_one ~quick ?json_path id then 0
+        if Baexperiments.All.run_one ~quick ?jobs ?json_path id then 0
         else begin
           Printf.eprintf "unknown experiment %S (try --list)\n" id;
           1
@@ -49,6 +59,6 @@ let cmd =
   in
   Cmd.v
     (Cmd.info "experiments" ~doc)
-    Term.(const main $ quick $ only $ list_flag $ json_path)
+    Term.(const main $ quick $ only $ list_flag $ json_path $ jobs)
 
 let () = exit (Cmd.eval' cmd)

@@ -91,7 +91,8 @@ let write_json path json =
   output_char oc '\n';
   close_out oc
 
-let run_all ?(quick = false) ?json_path () =
+let run_all ?(quick = false) ?jobs ?json_path () =
+  Option.iter Common.set_jobs jobs;
   print_endline
     "Communication Complexity of Byzantine Agreement, Revisited — experiment \
      suite";
@@ -102,7 +103,8 @@ let run_all ?(quick = false) ?json_path () =
   | Some path -> write_json path (suite_json ~quick entries)
   | None -> ()
 
-let run_one ?(quick = false) ?json_path id =
+let run_one ?(quick = false) ?jobs ?json_path id =
+  Option.iter Common.set_jobs jobs;
   let target = String.lowercase_ascii id in
   match
     List.find_opt

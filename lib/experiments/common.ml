@@ -1,46 +1,127 @@
+(* Aggregation is a monoid fold so trials can run on Bapar domains:
+   [rates] carries integer sums (exact, so merging is genuinely
+   associative and commutative — float accumulation would not be), and
+   the means every table prints are derived at read time. The pool
+   merges per-trial singletons in trial-index order, which makes every
+   aggregate a pure function of (seed, reps) — independent of [jobs]. *)
+
 type rates = {
   trials : int;
   consistency_fail : int;
   validity_fail : int;
   termination_fail : int;
-  mean_rounds : float;
-  mean_multicasts : float;
-  mean_multicast_bits : float;
-  mean_unicasts : float;
-  mean_removals : float;
-  mean_corruptions : float;
+  total_rounds : int;
+  total_multicasts : int;
+  total_multicast_bits : int;
+  total_unicasts : int;
+  total_removals : int;
+  total_corruptions : int;
 }
+
+let empty_rates =
+  { trials = 0;
+    consistency_fail = 0;
+    validity_fail = 0;
+    termination_fail = 0;
+    total_rounds = 0;
+    total_multicasts = 0;
+    total_multicast_bits = 0;
+    total_unicasts = 0;
+    total_removals = 0;
+    total_corruptions = 0 }
+
+let rates_of_trial (r, v) =
+  let fail b = if b then 0 else 1 in
+  { trials = 1;
+    consistency_fail = fail v.Basim.Properties.consistent;
+    validity_fail = fail v.Basim.Properties.valid;
+    termination_fail = fail v.Basim.Properties.terminated;
+    total_rounds = r.Basim.Engine.rounds_used;
+    total_multicasts = Basim.Metrics.honest_multicasts r.Basim.Engine.metrics;
+    total_multicast_bits =
+      Basim.Metrics.honest_multicast_bits r.Basim.Engine.metrics;
+    total_unicasts = Basim.Metrics.honest_unicasts r.Basim.Engine.metrics;
+    total_removals = Basim.Metrics.removals r.Basim.Engine.metrics;
+    total_corruptions = r.Basim.Engine.corruptions }
+
+let merge_rates a b =
+  { trials = a.trials + b.trials;
+    consistency_fail = a.consistency_fail + b.consistency_fail;
+    validity_fail = a.validity_fail + b.validity_fail;
+    termination_fail = a.termination_fail + b.termination_fail;
+    total_rounds = a.total_rounds + b.total_rounds;
+    total_multicasts = a.total_multicasts + b.total_multicasts;
+    total_multicast_bits = a.total_multicast_bits + b.total_multicast_bits;
+    total_unicasts = a.total_unicasts + b.total_unicasts;
+    total_removals = a.total_removals + b.total_removals;
+    total_corruptions = a.total_corruptions + b.total_corruptions }
+
+let mean total r =
+  if r.trials = 0 then 0.0 else float_of_int total /. float_of_int r.trials
+
+let mean_rounds r = mean r.total_rounds r
+
+let mean_multicasts r = mean r.total_multicasts r
+
+let mean_multicast_bits r = mean r.total_multicast_bits r
+
+let mean_unicasts r = mean r.total_unicasts r
+
+let mean_removals r = mean r.total_removals r
+
+let mean_corruptions r = mean r.total_corruptions r
 
 let seed_of base k =
   Bacrypto.Rng.next_int64
     (Bacrypto.Rng.split_named (Bacrypto.Rng.create base) (string_of_int k))
 
-let measure ~reps ~seed f =
-  let results = List.init reps (fun k -> f (seed_of seed k)) in
-  let count p = List.length (List.filter p results) in
-  let meanf g =
-    List.fold_left (fun acc r -> acc +. g r) 0.0 results /. float_of_int reps
+(* {2 Trial parallelism}
+
+   One process-wide jobs setting (wired to the [--jobs] flags and the
+   BA_JOBS env knob via [Bapar.Pool.default_jobs]) and one cached pool
+   matching it. [measure] is only ever called from the driver domain —
+   experiments run one after another — so plain refs suffice here; the
+   trials themselves are what run on domains. *)
+
+let jobs_setting = ref (Bapar.Pool.default_jobs ())
+
+let cached_pool : Bapar.Pool.t option ref = ref None
+
+let drop_pool () =
+  match !cached_pool with
+  | None -> ()
+  | Some p ->
+      cached_pool := None;
+      Bapar.Pool.shutdown p
+
+let set_jobs j =
+  let j = max 1 j in
+  if j <> !jobs_setting then begin
+    drop_pool ();
+    jobs_setting := j
+  end
+
+let jobs () = !jobs_setting
+
+let current_pool () =
+  match !cached_pool with
+  | Some p when Bapar.Pool.size p = !jobs_setting -> p
+  | Some _ | None ->
+      drop_pool ();
+      let p = Bapar.Pool.create ~jobs:!jobs_setting in
+      cached_pool := Some p;
+      p
+
+let measure ?jobs:requested ~reps ~seed f =
+  let thunks =
+    List.init reps (fun k () -> rates_of_trial (f (seed_of seed k)))
   in
-  { trials = reps;
-    consistency_fail = count (fun (_, v) -> not v.Basim.Properties.consistent);
-    validity_fail = count (fun (_, v) -> not v.Basim.Properties.valid);
-    termination_fail = count (fun (_, v) -> not v.Basim.Properties.terminated);
-    mean_rounds = meanf (fun (r, _) -> float_of_int r.Basim.Engine.rounds_used);
-    mean_multicasts =
-      meanf (fun (r, _) ->
-          float_of_int (Basim.Metrics.honest_multicasts r.Basim.Engine.metrics));
-    mean_multicast_bits =
-      meanf (fun (r, _) ->
-          float_of_int
-            (Basim.Metrics.honest_multicast_bits r.Basim.Engine.metrics));
-    mean_unicasts =
-      meanf (fun (r, _) ->
-          float_of_int (Basim.Metrics.honest_unicasts r.Basim.Engine.metrics));
-    mean_removals =
-      meanf (fun (r, _) ->
-          float_of_int (Basim.Metrics.removals r.Basim.Engine.metrics));
-    mean_corruptions =
-      meanf (fun (r, _) -> float_of_int r.Basim.Engine.corruptions) }
+  let reduce pool =
+    Bapar.Pool.map_reduce ~pool ~merge:merge_rates ~init:empty_rates thunks
+  in
+  match requested with
+  | Some j when j <> !jobs_setting -> Bapar.Pool.with_pool ~jobs:j reduce
+  | Some _ | None -> reduce (current_pool ())
 
 let pct p = Printf.sprintf "%.1f%%" (100.0 *. p)
 
@@ -54,9 +135,9 @@ let rates_to_json r =
       ("consistency_fail", Int r.consistency_fail);
       ("validity_fail", Int r.validity_fail);
       ("termination_fail", Int r.termination_fail);
-      ("mean_rounds", Float r.mean_rounds);
-      ("mean_multicasts", Float r.mean_multicasts);
-      ("mean_multicast_bits", Float r.mean_multicast_bits);
-      ("mean_unicasts", Float r.mean_unicasts);
-      ("mean_removals", Float r.mean_removals);
-      ("mean_corruptions", Float r.mean_corruptions) ]
+      ("mean_rounds", Float (mean_rounds r));
+      ("mean_multicasts", Float (mean_multicasts r));
+      ("mean_multicast_bits", Float (mean_multicast_bits r));
+      ("mean_unicasts", Float (mean_unicasts r));
+      ("mean_removals", Float (mean_removals r));
+      ("mean_corruptions", Float (mean_corruptions r)) ]

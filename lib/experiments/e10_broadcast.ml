@@ -47,8 +47,8 @@ let run ?(reps = 6) ?(seed = 112L) () =
         Common.rate rates.Common.validity_fail rates.Common.trials;
         Common.rate rates.Common.consistency_fail rates.Common.trials;
         Common.rate rates.Common.termination_fail rates.Common.trials;
-        Bastats.Table.fmt_float rates.Common.mean_multicasts;
-        Bastats.Table.fmt_float rates.Common.mean_rounds ]
+        Bastats.Table.fmt_float (Common.mean_multicasts rates);
+        Bastats.Table.fmt_float (Common.mean_rounds rates) ]
   in
   (* Baseline: the BA alone, for the multicast comparison. *)
   add "BA alone (sub-hm)"

@@ -20,8 +20,8 @@ let sub_hm_row table ~reps ~seed ~n ~budget ~adversary ~label ~max_epochs =
       string_of_int budget;
       Common.rate rates.Common.termination_fail rates.Common.trials;
       Common.rate rates.Common.consistency_fail rates.Common.trials;
-      Bastats.Table.fmt_float rates.Common.mean_multicasts;
-      Bastats.Table.fmt_float rates.Common.mean_removals;
+      Bastats.Table.fmt_float (Common.mean_multicasts rates);
+      Bastats.Table.fmt_float (Common.mean_removals rates);
       Bastats.Table.fmt_float bound ]
 
 let comparator_row table ~reps ~seed ~label ~run_one =
@@ -32,8 +32,8 @@ let comparator_row table ~reps ~seed ~label ~run_one =
       "-";
       Common.rate rates.Common.termination_fail rates.Common.trials;
       Common.rate rates.Common.consistency_fail rates.Common.trials;
-      Bastats.Table.fmt_float rates.Common.mean_multicasts;
-      Bastats.Table.fmt_float rates.Common.mean_removals;
+      Bastats.Table.fmt_float (Common.mean_multicasts rates);
+      Bastats.Table.fmt_float (Common.mean_removals rates);
       "-" ]
 
 let run ?(reps = 10) ?(seed = 101L) () =

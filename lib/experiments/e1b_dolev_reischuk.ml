@@ -28,8 +28,8 @@ let run ?(reps = 5) ?(seed = 102L) () =
       in
       Bastats.Table.add_row table
         [ string_of_int d;
-          Bastats.Table.fmt_float rates.Common.mean_unicasts;
-          Bastats.Table.fmt_float rates.Common.mean_corruptions;
+          Bastats.Table.fmt_float (Common.mean_unicasts rates);
+          Bastats.Table.fmt_float (Common.mean_corruptions rates);
           Common.rate rates.Common.consistency_fail rates.Common.trials;
           string_of_int (n * d) ])
     [ 1; 2; 4; 8; 16; 20; 21; 24 ];

@@ -27,12 +27,12 @@ let run ?(reps = 3) ?(seed = 103L) () =
       let r = measure_protocol proto ~n ~reps ~seed ~max_rounds:250 in
       Bastats.Table.add_row sub_table
         [ string_of_int n;
-          Bastats.Table.fmt_float r.Common.mean_multicasts;
-          Bastats.Table.fmt_float (r.Common.mean_multicast_bits /. 1000.0);
-          Bastats.Table.fmt_float (r.Common.mean_multicasts *. float_of_int n);
-          Bastats.Table.fmt_float r.Common.mean_rounds;
+          Bastats.Table.fmt_float (Common.mean_multicasts r);
+          Bastats.Table.fmt_float (Common.mean_multicast_bits r /. 1000.0);
+          Bastats.Table.fmt_float (Common.mean_multicasts r *. float_of_int n);
+          Bastats.Table.fmt_float (Common.mean_rounds r);
           Bastats.Table.fmt_float
-            (r.Common.mean_multicasts /. r.Common.mean_rounds) ])
+            (Common.mean_multicasts r /. Common.mean_rounds r) ])
     [ 101; 201; 401; 801; 1601; 3201 ];
   Bastats.Table.add_note sub_table
     "only O(λ) nodes speak per round regardless of n: the multicast counts \
@@ -51,8 +51,8 @@ let run ?(reps = 3) ?(seed = 103L) () =
       let r = measure_protocol proto ~n ~reps ~seed ~max_rounds:36 in
       Bastats.Table.add_row sub3_table
         [ string_of_int n;
-          Bastats.Table.fmt_float r.Common.mean_multicasts;
-          Bastats.Table.fmt_float (r.Common.mean_multicasts /. 16.0) ])
+          Bastats.Table.fmt_float (Common.mean_multicasts r);
+          Bastats.Table.fmt_float (Common.mean_multicasts r /. 16.0) ])
     [ 201; 801; 3201 ];
   let quad_table =
     Bastats.Table.create
@@ -66,11 +66,11 @@ let run ?(reps = 3) ?(seed = 103L) () =
       let r = measure_protocol proto ~n ~reps ~seed ~max_rounds:220 in
       Bastats.Table.add_row quad_table
         [ string_of_int n;
-          Bastats.Table.fmt_float r.Common.mean_multicasts;
-          Bastats.Table.fmt_float (r.Common.mean_multicasts *. float_of_int n);
-          Bastats.Table.fmt_float r.Common.mean_rounds;
+          Bastats.Table.fmt_float (Common.mean_multicasts r);
+          Bastats.Table.fmt_float (Common.mean_multicasts r *. float_of_int n);
+          Bastats.Table.fmt_float (Common.mean_rounds r);
           Bastats.Table.fmt_float
-            (r.Common.mean_multicasts /. r.Common.mean_rounds) ])
+            (Common.mean_multicasts r /. Common.mean_rounds r) ])
     [ 101; 201; 401 ];
   Bastats.Table.add_note quad_table
     "every node multicasts every round: per-round multicasts ≈ n, so \

@@ -28,7 +28,7 @@ let run ?(reps = 10) ?(seed = 109L) () =
     [ "static-committee + takeover";
       Common.rate static.Common.validity_fail static.Common.trials;
       Common.rate static.Common.consistency_fail static.Common.trials;
-      Bastats.Table.fmt_float static.Common.mean_corruptions ];
+      Bastats.Table.fmt_float (Common.mean_corruptions static) ];
   let shm =
     Common.measure ~reps ~seed (fun s ->
         let params = Params.make ~lambda:30 ~max_epochs:40 () in
@@ -45,7 +45,7 @@ let run ?(reps = 10) ?(seed = 109L) () =
     [ "sub-hm + same budget";
       Common.rate shm.Common.validity_fail shm.Common.trials;
       Common.rate shm.Common.consistency_fail shm.Common.trials;
-      Bastats.Table.fmt_float shm.Common.mean_corruptions ];
+      Bastats.Table.fmt_float (Common.mean_corruptions shm) ];
   Bastats.Table.add_note table
     "the takeover reads the public CRS committee and corrupts it before its \
      Result round; sub-hm's committees are secret until they speak and \

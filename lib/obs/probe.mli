@@ -3,8 +3,16 @@
     A probe is a named (count, cumulative-ns) pair in a global registry.
     Instrumented code registers its probes once at module init and wraps
     hot sections in {!start}/{!stop} (or {!time}); when the registry is
-    disabled — the default — every operation short-circuits on one ref
-    read, so instrumentation left in place costs nothing measurable.
+    disabled — the default — every operation short-circuits on one
+    atomic load, so instrumentation left in place costs nothing
+    measurable.
+
+    Domain-safe: the registry table and each probe's counters are
+    mutex-guarded (the enabled flag is atomic), so probes fired from
+    parallel [Bapar] trials never tear or lose updates — {!snapshot}
+    after a join sees the exact totals. Timing overhead when enabled is
+    one uncontended lock per span, which disappears into the
+    [Unix.gettimeofday] call on either side.
 
     Timestamps come from [Unix.gettimeofday] (the best clock available
     without C stubs); spans are wall-clock durations. *)

@@ -51,7 +51,7 @@ let test_common_measure_counts () =
   Alcotest.(check int) "trials" 4 rates.Baexperiments.Common.trials;
   Alcotest.(check int) "no failures" 0 rates.Baexperiments.Common.consistency_fail;
   Alcotest.(check bool) "rounds positive" true
-    (rates.Baexperiments.Common.mean_rounds > 0.0)
+    (Baexperiments.Common.mean_rounds rates > 0.0)
 
 let test_common_seed_derivation () =
   let a = Baexperiments.Common.seed_of 1L 0 in
@@ -59,6 +59,95 @@ let test_common_seed_derivation () =
   let a' = Baexperiments.Common.seed_of 1L 0 in
   Alcotest.(check int64) "stable" a a';
   Alcotest.(check bool) "distinct" true (a <> b)
+
+(* Every aggregate in EXPERIMENTS.md is a function of these derived
+   seeds, so their exact values are part of the reproduction: pin a
+   sample so a silent change to the derivation (Rng.split_named, the
+   label scheme, …) fails loudly rather than shifting every table. *)
+let test_seed_of_regression_pins () =
+  List.iter
+    (fun (base, k, expected) ->
+      Alcotest.(check int64)
+        (Printf.sprintf "seed_of %Ld %d" base k)
+        expected
+        (Baexperiments.Common.seed_of base k))
+    [ (101L, 0, -4890805870649240105L);
+      (101L, 1, -4432694470564943428L);
+      (101L, 9, -7475388173511984057L);
+      (103L, 0, 2979518030656827812L);
+      (103L, 5, -3530997928206117773L);
+      (109L, 2, 4789723745784372894L);
+      (1L, 0, -5978117107769374440L);
+      (2L, 11, -7529093808955307694L) ]
+
+let test_seed_of_pairwise_distinct () =
+  (* 10k trials per base, plus cross-base: one collision would silently
+     correlate two Monte-Carlo trials. *)
+  let module S = Set.Make (Int64) in
+  let reps = 10_000 in
+  let all = ref S.empty in
+  List.iter
+    (fun base ->
+      let seen = ref S.empty in
+      for k = 0 to reps - 1 do
+        seen := S.add (Baexperiments.Common.seed_of base k) !seen
+      done;
+      Alcotest.(check int)
+        (Printf.sprintf "base %Ld: %d distinct" base reps)
+        reps (S.cardinal !seen);
+      all := S.union !all !seen)
+    [ 101L; 103L ];
+  Alcotest.(check int) "no cross-base collisions" (2 * reps)
+    (S.cardinal !all)
+
+(* --- Parallel/sequential golden equivalence ------------------------------- *)
+
+(* E1, E2 and E8 rendered end-to-end with ~jobs:1 and ~jobs:4 on the
+   same base seed: every table must be byte-identical — the determinism
+   guarantee README documents for --jobs, asserted at the level users
+   see. *)
+let run_rendered ~jobs id =
+  Baexperiments.Common.set_jobs jobs;
+  match
+    List.find_opt
+      (fun e -> e.Baexperiments.All.id = id)
+      Baexperiments.All.experiments
+  with
+  | None -> Alcotest.fail ("no experiment " ^ id)
+  | Some entry ->
+      let tables = entry.Baexperiments.All.run ~reps:2 () in
+      Baexperiments.Common.set_jobs 1;
+      List.map Bastats.Table.render tables
+
+let test_golden_parallel_tables () =
+  List.iter
+    (fun id ->
+      let seq = run_rendered ~jobs:1 id in
+      let par = run_rendered ~jobs:4 id in
+      Alcotest.(check (list string)) (id ^ " tables identical") seq par)
+    [ "E1"; "E2"; "E8" ]
+
+(* The same equivalence one level down, on the rates records and their
+   JSON, for an E8-style kernel (takeover of a static committee). *)
+let test_golden_parallel_rates () =
+  let kernel s =
+    let proto =
+      Babaselines.Static_committee.protocol ~committee_size:12
+    in
+    let inputs = Basim.Scenario.unanimous_inputs ~n:60 false in
+    let result =
+      Basim.Engine.run proto
+        ~adversary:(Baattacks.Takeover.make ~force:true ())
+        ~n:60 ~budget:24 ~inputs ~max_rounds:6 ~seed:s
+    in
+    (result, Basim.Properties.agreement ~inputs result)
+  in
+  let seq = Baexperiments.Common.measure ~jobs:1 ~reps:6 ~seed:109L kernel in
+  let par = Baexperiments.Common.measure ~jobs:4 ~reps:6 ~seed:109L kernel in
+  Alcotest.(check bool) "rates records identical" true (seq = par);
+  Alcotest.(check string) "rates_to_json identical"
+    (Baobs.Json.to_string (Baexperiments.Common.rates_to_json seq))
+    (Baobs.Json.to_string (Baexperiments.Common.rates_to_json par))
 
 let test_rate_formatting () =
   Alcotest.(check string) "rate" "1/4 (25.0%)" (Baexperiments.Common.rate 1 4);
@@ -73,4 +162,13 @@ let () =
       ( "common",
         [ Alcotest.test_case "measure" `Quick test_common_measure_counts;
           Alcotest.test_case "seed derivation" `Quick test_common_seed_derivation;
-          Alcotest.test_case "formatting" `Quick test_rate_formatting ] ) ]
+          Alcotest.test_case "seed_of regression pins" `Quick
+            test_seed_of_regression_pins;
+          Alcotest.test_case "seed_of pairwise distinct" `Quick
+            test_seed_of_pairwise_distinct;
+          Alcotest.test_case "formatting" `Quick test_rate_formatting ] );
+      ( "golden-parallel",
+        [ Alcotest.test_case "E1/E2/E8 tables jobs 1 = jobs 4" `Slow
+            test_golden_parallel_tables;
+          Alcotest.test_case "rates and json jobs 1 = jobs 4" `Quick
+            test_golden_parallel_rates ] ) ]

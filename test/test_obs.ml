@@ -51,12 +51,12 @@ let test_rates_json_roundtrip () =
       consistency_fail = 1;
       validity_fail = 0;
       termination_fail = 2;
-      mean_rounds = 11.5;
-      mean_multicasts = 117.1;
-      mean_multicast_bits = 6212.4;
-      mean_unicasts = 0.0;
-      mean_removals = 40.0;
-      mean_corruptions = 40.0 }
+      total_rounds = 115;
+      total_multicasts = 1171;
+      total_multicast_bits = 62124;
+      total_unicasts = 0;
+      total_removals = 400;
+      total_corruptions = 400 }
   in
   let json = Baexperiments.Common.rates_to_json rates in
   let parsed = Baobs.Json.of_string (Baobs.Json.to_string json) in
@@ -113,6 +113,46 @@ let test_probe_spans () =
   let json = Baobs.Probe.to_json () in
   Alcotest.(check bool) "span json roundtrip" true
     (Baobs.Json.of_string (Baobs.Json.to_string json) = json);
+  Baobs.Probe.reset ()
+
+(* Two domains hammering the same probe: the registry is mutex-guarded,
+   so no tick and no span may be lost or torn — the totals after the
+   join are exact. This is the data race trial-level parallelism would
+   hit with the old unguarded registry. *)
+let test_probe_two_domain_hammer () =
+  let ticks_per_domain = 50_000 and spans_per_domain = 2_000 in
+  let p = Baobs.Probe.register "test.hammer" in
+  Baobs.Probe.reset ();
+  Baobs.Probe.enable ();
+  let hammer () =
+    for _ = 1 to ticks_per_domain do
+      Baobs.Probe.tick p
+    done;
+    for _ = 1 to spans_per_domain do
+      Baobs.Probe.time p (fun () -> ignore (Sys.opaque_identity (1 + 1)))
+    done
+  in
+  let d1 = Domain.spawn hammer and d2 = Domain.spawn hammer in
+  (* The main domain hammers too, and concurrently registers fresh
+     probes to exercise the registry lock alongside the counter locks. *)
+  for i = 1 to 100 do
+    ignore (Baobs.Probe.register (Printf.sprintf "test.hammer.aux%d" i))
+  done;
+  hammer ();
+  Domain.join d1;
+  Domain.join d2;
+  Baobs.Probe.disable ();
+  (match
+     List.find_opt
+       (fun (n, _, _) -> n = "test.hammer")
+       (Baobs.Probe.snapshot ())
+   with
+  | Some (_, count, total_ns) ->
+      Alcotest.(check int) "exact count, no torn updates"
+        (3 * (ticks_per_domain + spans_per_domain))
+        count;
+      Alcotest.(check bool) "nonnegative time" true (total_ns >= 0.0)
+  | None -> Alcotest.fail "hammered probe missing from snapshot");
   Baobs.Probe.reset ()
 
 (* --- Series vs Metrics ----------------------------------------------------- *)
@@ -356,7 +396,10 @@ let () =
       ( "ring",
         [ Alcotest.test_case "drops oldest" `Quick test_ring_drops_oldest;
           Alcotest.test_case "trace ring" `Quick test_trace_ring ] );
-      ("probe", [ Alcotest.test_case "spans" `Quick test_probe_spans ]);
+      ( "probe",
+        [ Alcotest.test_case "spans" `Quick test_probe_spans;
+          Alcotest.test_case "two-domain hammer" `Quick
+            test_probe_two_domain_hammer ] );
       ( "series",
         [ Alcotest.test_case "e1 eraser scenario" `Quick
             test_series_matches_metrics_e1;
