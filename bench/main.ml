@@ -23,13 +23,27 @@ open Bacore
 
 let quick = Array.exists (fun a -> a = "--quick") Sys.argv
 
-let jobs =
+let flag_value name =
   let rec find i =
     if i + 1 >= Array.length Sys.argv then None
-    else if Sys.argv.(i) = "--jobs" then int_of_string_opt Sys.argv.(i + 1)
+    else if Sys.argv.(i) = name then Some Sys.argv.(i + 1)
     else find (i + 1)
   in
-  match find 1 with Some j when j >= 1 -> j | Some _ | None -> Bapar.Pool.default_jobs ()
+  find 1
+
+let jobs =
+  match Option.bind (flag_value "--jobs") int_of_string_opt with
+  | Some j when j >= 1 -> j
+  | Some _ | None -> Bapar.Pool.default_jobs ()
+
+(* --against FILE: after writing BENCH_1.json, diff it against FILE and
+   exit nonzero on a regression past --threshold (default 20%). *)
+let against = flag_value "--against"
+
+let threshold =
+  match Option.bind (flag_value "--threshold") float_of_string_opt with
+  | Some t when t > 0.0 -> t
+  | Some _ | None -> 0.2
 
 let () = Baexperiments.Common.set_jobs jobs
 
@@ -44,10 +58,12 @@ let () = Baexperiments.All.run_all ~quick ()
    once on the pool; the aggregates must be bit-identical (that is the
    Bapar contract), and the ratio is the machine's measured trial-level
    speedup, recorded in BENCH_1.json. *)
+let sweep_trials = if quick then 4 else 12
+
 let speedup_sweep ~jobs () =
   let params = Params.make ~lambda:40 ~max_epochs:60 () in
   let proto = Sub_hm.protocol ~params ~world:`Hybrid in
-  Baexperiments.Common.measure ~jobs ~reps:(if quick then 4 else 12) ~seed:2L
+  Baexperiments.Common.measure ~jobs ~reps:sweep_trials ~seed:2L
     (fun s ->
       let inputs = Scenario.random_inputs ~n:401 s in
       let result =
@@ -78,8 +94,14 @@ let parallel_summary =
     prerr_endline "bench: parallel aggregates diverged from sequential";
     exit 1
   end;
+  (* jobs/recommended_domains/trials pin the measurement conditions: a
+     0.79x "speedup" is expected on a 1-core container and meaningless
+     without them in the recorded trajectory. *)
   Baobs.Json.Obj
     [ ("jobs", Baobs.Json.Int jobs);
+      ( "recommended_domains",
+        Baobs.Json.Int (Domain.recommended_domain_count ()) );
+      ("trials", Baobs.Json.Int sweep_trials);
       ("seq_s", Baobs.Json.Float seq_s);
       ("par_s", Baobs.Json.Float par_s);
       ("speedup", Baobs.Json.Float speedup);
@@ -325,4 +347,25 @@ let () =
   let named = estimates results in
   report named;
   write_bench_json ~quota_s:(if quick then 0.1 else 0.5) named;
-  print_endline "\nbench: done"
+  print_endline "\nbench: done";
+  (* Regression gate: diff the report just written against a recorded
+     baseline. Exit nonzero so CI can gate (soft or hard) on it. *)
+  match against with
+  | None -> ()
+  | Some base_path ->
+      let read_json path =
+        let ic = open_in_bin path in
+        let contents =
+          Fun.protect
+            ~finally:(fun () -> close_in_noerr ic)
+            (fun () -> really_input_string ic (in_channel_length ic))
+        in
+        Baobs.Json.of_string (String.trim contents)
+      in
+      let cmp =
+        Baobs.Bench_compare.diff ~threshold ~base:(read_json base_path)
+          ~current:(read_json bench_json_path) ()
+      in
+      Printf.printf "\n### Bench comparison vs %s\n\n%s" base_path
+        (Baobs.Bench_compare.render cmp);
+      exit (Baobs.Bench_compare.exit_code cmp)

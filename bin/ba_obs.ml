@@ -1,0 +1,196 @@
+(* Observability toolchain: consume what the instrumented runs emit.
+
+     ba_obs report trace.jsonl              per-round/per-node analytics
+     ba_obs profile profile.json            probe snapshot -> Chrome trace
+     ba_obs compare BENCH_A.json BENCH_B.json   bench-regression gate
+
+   Exit codes: 0 clean; 1 usage, I/O, parse errors, or (compare) a
+   regression past the threshold; 2 a failed [report --check]. *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let read_json path = Baobs.Json.of_string (String.trim (read_file path))
+
+let write_out output text =
+  match output with
+  | None -> print_string text
+  | Some path ->
+      let oc = open_out path in
+      output_string oc text;
+      close_out oc
+
+(* Shared error discipline: Sys_error covers unreadable inputs and
+   unwritable outputs; Parse_error covers malformed JSON/traces. *)
+let guarded f =
+  try f () with
+  | Sys_error e ->
+      prerr_endline ("ba_obs: " ^ e);
+      1
+  | Baobs.Json.Parse_error e ->
+      prerr_endline ("ba_obs: " ^ e);
+      1
+
+(* ---------- report ------------------------------------------------------ *)
+
+type format = Text | Json | Csv
+
+let formats = [ ("text", Text); ("json", Json); ("csv", Csv) ]
+
+let run_report file format top chk output =
+  guarded (fun () ->
+      let report = Baobs_report.Report.of_jsonl_string (read_file file) in
+      let rendered =
+        match format with
+        | Text -> Baobs_report.Report.to_text ~k:top report
+        | Json ->
+            Baobs.Json.to_string (Baobs_report.Report.to_json ~k:top report)
+            ^ "\n"
+        | Csv -> Baobs_report.Report.to_csv report
+      in
+      write_out output rendered;
+      if not chk then 0
+      else
+        match Baobs_report.Report.check report with
+        | Ok () ->
+            prerr_endline "ba_obs: check ok";
+            0
+        | Error errors ->
+            List.iter (fun e -> prerr_endline ("ba_obs: check: " ^ e)) errors;
+            2)
+
+let file_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"TRACE" ~doc:"JSONL trace file (from ba_run --trace-jsonl).")
+
+let format_arg =
+  Arg.(
+    value
+    & opt (enum formats) Text
+    & info [ "format" ] ~docv:"FMT" ~doc:"Output format: text, json, or csv.")
+
+let top_arg =
+  Arg.(
+    value & opt int 10
+    & info [ "top" ] ~docv:"K" ~doc:"How many top talkers to list.")
+
+let check_arg =
+  Arg.(
+    value & flag
+    & info [ "check" ]
+        ~doc:
+          "Verify the report's internal consistency (event JSON \
+           round-trip; per-round and per-node tables sum to the totals) \
+           and exit 2 on any mismatch.")
+
+let output_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write to $(docv) instead of stdout.")
+
+let report_cmd =
+  let doc =
+    "Analyze a JSONL execution trace: per-round timeline, per-node \
+     communication matrix with top-k talkers, message-size percentiles"
+  in
+  Cmd.v
+    (Cmd.info "report" ~doc)
+    Term.(const run_report $ file_arg $ format_arg $ top_arg $ check_arg
+          $ output_arg)
+
+(* ---------- profile ----------------------------------------------------- *)
+
+let run_profile file output =
+  guarded (fun () ->
+      let chrome = Baobs.Chrome_trace.of_profile (read_json file) in
+      write_out output (Baobs.Json.to_string chrome ^ "\n");
+      0)
+
+let profile_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"PROFILE"
+        ~doc:"Probe profile (from ba_run --profile-json).")
+
+let profile_cmd =
+  let doc =
+    "Convert a probe snapshot into Chrome trace_event JSON loadable in \
+     Perfetto (ui.perfetto.dev) or chrome://tracing"
+  in
+  Cmd.v (Cmd.info "profile" ~doc) Term.(const run_profile $ profile_arg $ output_arg)
+
+(* ---------- compare ----------------------------------------------------- *)
+
+let run_compare base current threshold json_out =
+  guarded (fun () ->
+      if threshold <= 0.0 then begin
+        prerr_endline "ba_obs: --threshold must be positive";
+        1
+      end
+      else begin
+        let cmp =
+          Baobs.Bench_compare.diff ~threshold ~base:(read_json base)
+            ~current:(read_json current) ()
+        in
+        print_string (Baobs.Bench_compare.render cmp);
+        (match json_out with
+        | Some path ->
+            write_out (Some path)
+              (Baobs.Json.to_string (Baobs.Bench_compare.to_json cmp) ^ "\n")
+        | None -> ());
+        Baobs.Bench_compare.exit_code cmp
+      end)
+
+let base_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"BASE" ~doc:"Baseline bench report (BENCH_*.json).")
+
+let current_arg =
+  Arg.(
+    required
+    & pos 1 (some file) None
+    & info [] ~docv:"CURRENT" ~doc:"Current bench report to gate.")
+
+let threshold_arg =
+  Arg.(
+    value & opt float 0.2
+    & info [ "threshold" ] ~docv:"FRAC"
+        ~doc:
+          "Regression threshold as a fraction: a benchmark regresses when \
+           current/base exceeds 1 + $(docv) (default 0.2 = 20%).")
+
+let json_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"FILE"
+        ~doc:"Also write the machine-readable comparison to $(docv).")
+
+let compare_cmd =
+  let doc =
+    "Diff two bench reports by ns/run and exit 1 if any benchmark \
+     regressed past the threshold"
+  in
+  Cmd.v
+    (Cmd.info "compare" ~doc)
+    Term.(const run_compare $ base_arg $ current_arg $ threshold_arg
+          $ json_out_arg)
+
+(* ---------- group ------------------------------------------------------- *)
+
+let cmd =
+  let doc = "Analyze traces, profiles, and bench reports from the BA harness" in
+  Cmd.group (Cmd.info "ba_obs" ~doc) [ report_cmd; profile_cmd; compare_cmd ]
+
+let () = exit (Cmd.eval' cmd)

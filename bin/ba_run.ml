@@ -104,8 +104,8 @@ let print_rates ~label (rates : Baexperiments.Common.rates) =
 (* Each protocol has its own message type, so the dispatch instantiates
    engine, adversary, and printer together. *)
 let dispatch proto adv ~n ~budget ~lambda ~epochs ~inputs_choice ~seed ~reps
-    ~jobs ~trace ~trace_jsonl ~metrics_json ~timings ~check_trace ~lenient_caps
-    =
+    ~jobs ~trace ~trace_jsonl ~metrics_json ~profile_json ~timings ~check_trace
+    ~lenient_caps =
   let collector =
     if trace || check_trace then Some (Trace.collector ()) else None
   in
@@ -124,6 +124,22 @@ let dispatch proto adv ~n ~budget ~lambda ~epochs ~inputs_choice ~seed ~reps
     if metrics_json <> None then Some (Baobs.Series.create ~n) else None
   in
   if timings then Baobs.Probe.enable ();
+  (match profile_json with
+  | Some _ ->
+      (* Per-span events feed [ba_obs profile]'s Chrome trace; the ring
+         bounds memory on long runs (oldest spans evicted first). *)
+      Baobs.Probe.enable ();
+      Baobs.Probe.record_spans ~capacity:65_536
+  | None -> ());
+  let write_profile () =
+    match profile_json with
+    | None -> ()
+    | Some path ->
+        let oc = open_out path in
+        output_string oc (Baobs.Json.to_string (Baobs.Probe.profile_to_json ()));
+        output_char oc '\n';
+        close_out oc
+  in
   let print_trace () =
     match collector with
     | Some c when trace ->
@@ -155,7 +171,8 @@ let dispatch proto adv ~n ~budget ~lambda ~epochs ~inputs_choice ~seed ~reps
     if timings then begin
       print_endline "--- timings ---";
       print_string (Baobs.Probe.report ())
-    end
+    end;
+    write_profile ()
   in
   let params = Params.make ~lambda ~max_epochs:epochs () in
   let seed64 = Int64.of_int seed in
@@ -221,6 +238,7 @@ let dispatch proto adv ~n ~budget ~lambda ~epochs ~inputs_choice ~seed ~reps
         print_endline "--- timings ---";
         print_string (Baobs.Probe.report ())
       end;
+      write_profile ();
       (match metrics_json with
       | Some path ->
           let json =
@@ -419,6 +437,16 @@ let metrics_json_arg =
           "Write run metrics and the per-round × per-node metric series to \
            $(docv) as JSON.")
 
+let profile_json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "profile-json" ] ~docv:"FILE"
+        ~doc:
+          "Enable the probe registry with per-span recording and write the \
+           snapshot-plus-spans profile to $(docv) after the run; convert it \
+           with ba_obs profile for Perfetto.")
+
 let timings_arg =
   Arg.(
     value & flag
@@ -446,15 +474,36 @@ let lenient_caps_arg =
            or budget.")
 
 let main proto adv n budget lambda epochs inputs_choice seed reps jobs trace
-    trace_jsonl metrics_json timings check_trace lenient_caps =
-  try
-    dispatch proto adv ~n ~budget ~lambda ~epochs ~inputs_choice ~seed ~reps
-      ~jobs ~trace ~trace_jsonl ~metrics_json ~timings ~check_trace
-      ~lenient_caps
-  with Sys_error e ->
-    (* e.g. an unwritable --trace-jsonl / --metrics-json destination *)
-    prerr_endline ("ba_run: " ^ e);
+    trace_jsonl metrics_json profile_json timings check_trace lenient_caps =
+  (* Reject doomed output destinations before the run, not after it:
+     --metrics-json and --profile-json only open their file once the
+     (possibly long) execution has completed. *)
+  let path_errors =
+    List.filter_map
+      (fun (flag, path) ->
+        match path with
+        | None -> None
+        | Some p -> (
+            match Baobs.Jsonl.validate_path p with
+            | Ok () -> None
+            | Error e -> Some (Printf.sprintf "%s: %s" flag e)))
+      [ ("--trace-jsonl", trace_jsonl);
+        ("--metrics-json", metrics_json);
+        ("--profile-json", profile_json) ]
+  in
+  if path_errors <> [] then begin
+    List.iter (fun e -> prerr_endline ("ba_run: " ^ e)) path_errors;
     1
+  end
+  else
+    try
+      dispatch proto adv ~n ~budget ~lambda ~epochs ~inputs_choice ~seed ~reps
+        ~jobs ~trace ~trace_jsonl ~metrics_json ~profile_json ~timings
+        ~check_trace ~lenient_caps
+    with Sys_error e ->
+      (* e.g. a destination that became unwritable mid-run *)
+      prerr_endline ("ba_run: " ^ e);
+      1
 
 let cmd =
   let doc = "Run one Byzantine Agreement protocol execution on the simulator" in
@@ -463,7 +512,7 @@ let cmd =
     Term.(
       const main $ proto_arg $ adv_arg $ n_arg $ budget_arg $ lambda_arg
       $ epochs_arg $ inputs_arg $ seed_arg $ reps_arg $ jobs_arg $ trace_arg
-      $ trace_jsonl_arg $ metrics_json_arg $ timings_arg $ check_trace_arg
-      $ lenient_caps_arg)
+      $ trace_jsonl_arg $ metrics_json_arg $ profile_json_arg $ timings_arg
+      $ check_trace_arg $ lenient_caps_arg)
 
 let () = exit (Cmd.eval' cmd)

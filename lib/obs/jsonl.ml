@@ -21,3 +21,13 @@ let emitted t = t.emitted
 
 let flush t =
   match t.target with Channel oc -> flush oc | Buffer _ -> ()
+
+let validate_path path =
+  let dir = Filename.dirname path in
+  if not (Sys.file_exists dir) then
+    Error (Printf.sprintf "%s: parent directory %s does not exist" path dir)
+  else if not (Sys.is_directory dir) then
+    Error (Printf.sprintf "%s: parent %s is not a directory" path dir)
+  else if Sys.file_exists path && Sys.is_directory path then
+    Error (Printf.sprintf "%s: is a directory" path)
+  else Ok ()

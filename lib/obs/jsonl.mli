@@ -14,3 +14,10 @@ val emitted : t -> int
 
 val flush : t -> unit
 (** Flush the underlying channel (no-op for buffers). *)
+
+val validate_path : string -> (unit, string) result
+(** Check that [path] is writable in principle — its parent directory
+    exists and [path] is not itself a directory — so CLIs can reject a
+    doomed output destination before a long run instead of after it.
+    A race with concurrent filesystem changes is still possible; this
+    is an early, best-effort check, not a guarantee. *)

@@ -41,24 +41,61 @@ let probes () =
   with_lock registry_lock (fun () ->
       Hashtbl.fold (fun _ p acc -> p :: acc) registry [])
 
+(* [reset] is defined after the span machinery so it can clear the span
+   ring alongside the counters — see below. *)
+
+let now_ns () = Unix.gettimeofday () *. 1e9
+
+(* ---------- per-span event recording ------------------------------------ *)
+
+type span = { probe : string; start_ns : float; dur_ns : float }
+
+let span_ring : span Ring.t option ref = ref None
+
+let span_lock = Mutex.create ()
+
+let record_spans ~capacity =
+  with_lock span_lock (fun () -> span_ring := Some (Ring.create ~capacity))
+
+let recording_spans () = with_lock span_lock (fun () -> !span_ring <> None)
+
+let spans () =
+  with_lock span_lock (fun () ->
+      match !span_ring with None -> [] | Some r -> Ring.to_list r)
+
+let spans_dropped () =
+  with_lock span_lock (fun () ->
+      match !span_ring with None -> 0 | Some r -> Ring.dropped r)
+
+let record_span probe start_ns dur_ns =
+  with_lock span_lock (fun () ->
+      match !span_ring with
+      | None -> ()
+      | Some r -> Ring.add r { probe; start_ns; dur_ns })
+
 let reset () =
   List.iter
     (fun p ->
       with_lock p.lock (fun () ->
           p.count <- 0;
           p.total_ns <- 0.0))
-    (probes ())
-
-let now_ns () = Unix.gettimeofday () *. 1e9
+    (probes ());
+  with_lock span_lock (fun () ->
+      match !span_ring with
+      | None -> ()
+      | Some r -> span_ring := Some (Ring.create ~capacity:(Ring.capacity r)))
 
 let start () = if Atomic.get on then now_ns () else 0.0
 
 let stop p t0 =
   if t0 > 0.0 then begin
-    let dt = now_ns () -. t0 in
+    (* Wall-clock can step backwards (NTP); a negative span would poison
+       the cumulative total, so clamp to zero. *)
+    let dt = Float.max 0.0 (now_ns () -. t0) in
     with_lock p.lock (fun () ->
         p.count <- p.count + 1;
-        p.total_ns <- p.total_ns +. dt)
+        p.total_ns <- p.total_ns +. dt);
+    record_span p.name t0 dt
   end
 
 let time p f =
@@ -93,6 +130,23 @@ let to_json () =
              ("total_ns", Json.Float total_ns);
              ("mean_ns", Json.Float mean) ])
        (snapshot ()))
+
+let spans_to_json () =
+  Json.List
+    (List.map
+       (fun s ->
+         Json.Obj
+           [ ("name", Json.String s.probe);
+             ("start_ns", Json.Float s.start_ns);
+             ("dur_ns", Json.Float s.dur_ns) ])
+       (spans ()))
+
+let profile_to_json () =
+  Json.Obj
+    [ ("schema", Json.String "ba-profile/v1");
+      ("probes", to_json ());
+      ("spans", spans_to_json ());
+      ("spans_dropped", Json.Int (spans_dropped ())) ]
 
 let report () =
   let buf = Buffer.create 256 in

@@ -29,14 +29,17 @@ val disable : unit -> unit
 val enabled : unit -> bool
 
 val reset : unit -> unit
-(** Zero every probe's count and accumulated time. *)
+(** Zero every probe's count and accumulated time, and empty the span
+    ring if one is installed (its capacity is kept). *)
 
 val start : unit -> float
 (** Span-open timestamp, or [0.] when disabled. *)
 
 val stop : t -> float -> unit
 (** Close a span opened by {!start}; a [0.] token is ignored, so a span
-    opened while disabled never records. *)
+    opened while disabled never records. Durations are clamped to zero
+    if the wall clock stepped backwards mid-span, so a probe's
+    accumulated total is never decreased by an NTP adjustment. *)
 
 val time : t -> (unit -> 'a) -> 'a
 (** [time p f] runs [f] inside a span (records even if [f] raises). *)
@@ -52,3 +55,32 @@ val to_json : unit -> Json.t
 
 val report : unit -> string
 (** Human-readable table of {!snapshot}. *)
+
+(** {2 Per-span event recording}
+
+    Beyond the aggregate counters, each closed span can optionally be
+    recorded as an individual event into a bounded {!Ring} — the raw
+    material for Chrome-trace / Perfetto profiles ({!Chrome_trace}).
+    Off unless {!record_spans} was called; bounded, so arbitrarily long
+    runs cost constant memory (oldest spans are evicted first). *)
+
+type span = { probe : string; start_ns : float; dur_ns : float }
+
+val record_spans : capacity:int -> unit
+(** Install (or replace) the span ring. Recording still requires the
+    registry to be {!enable}d. *)
+
+val recording_spans : unit -> bool
+
+val spans : unit -> span list
+(** Retained spans, oldest first ([[]] when no ring is installed). *)
+
+val spans_dropped : unit -> int
+(** Spans evicted from the ring so far. *)
+
+val spans_to_json : unit -> Json.t
+
+val profile_to_json : unit -> Json.t
+(** [{schema: "ba-profile/v1"; probes; spans; spans_dropped}] — the
+    snapshot-plus-spans document [ba_run --profile-json] writes and
+    [ba_obs profile] converts to Chrome [trace_event] JSON. *)

@@ -1,0 +1,82 @@
+(** Trace analytics: turn an execution trace (a live
+    [Basim.Trace.collector] event list or a re-parsed [--trace-jsonl]
+    file) into readable artifacts — a per-round timeline, a per-node
+    communication table with top-k talkers, and per-kind message-size
+    summaries (p50/p95/p99 over {!Bastats.Histogram} bins).
+
+    Accounting follows Definition 7 exactly as [Basim.Metrics] does:
+    erased honest sends ([Removed] events, which carry the erased
+    send's shape) count toward honest multicasts/unicasts {e and} as
+    removals, so a report's totals reproduce the engine's aggregates
+    for the same run — asserted in [test/test_obs.ml] and by the
+    [ba_obs report --check] CI round-trip. *)
+
+type counts = {
+  mutable multicasts : int;
+  mutable multicast_bits : int;  (** Definition-7 bits *)
+  mutable unicasts : int;        (** targeted sends × recipients *)
+  mutable unicast_bits : int;
+  mutable removals : int;
+  mutable injections : int;
+  mutable corruptions : int;
+  mutable halts : int;
+}
+
+type t
+
+val of_events : Basim.Trace.event list -> t
+
+val of_jsonl_string : string -> t
+(** Parse one [Basim.Trace.of_json] event per nonempty line.
+    @raise Baobs.Json.Parse_error on a malformed line. *)
+
+val of_jsonl_channel : in_channel -> t
+
+val events : t -> Basim.Trace.event list
+
+val event_count : t -> int
+
+val totals : t -> counts
+
+val rounds : t -> (int * counts) list
+(** Per-round timeline, rounds ascending (round [-1] = setup). *)
+
+val nodes : t -> (int * counts) list
+(** Per-node communication matrix, node ids ascending. Removals are
+    charged to the victim, injections to the corrupt source. *)
+
+val top_talkers : ?k:int -> t -> (int * counts) list
+(** The [k] (default 10) heaviest nodes by multicast bits (unicast bits,
+    then node id, break ties). *)
+
+val multicast_size_summary : t -> Bastats.Summary.t option
+(** [None] when no multicast was observed. *)
+
+val unicast_size_summary : t -> Bastats.Summary.t option
+
+val multicast_sizes : t -> Bastats.Histogram.t
+(** Bits-per-multicast histogram (erased sends included). *)
+
+val unicast_sizes : t -> Bastats.Histogram.t
+
+val check : t -> (unit, string list) result
+(** Internal consistency: every event round-trips through
+    [Trace.to_json]/[of_json], and the per-round and per-node tables
+    sum back to the totals. [ba_obs report --check] exits nonzero on
+    [Error]. *)
+
+val round_table : t -> Bastats.Table.t
+
+val talkers_table : ?k:int -> t -> Bastats.Table.t
+
+val sizes_table : t -> Bastats.Table.t
+
+val to_text : ?k:int -> t -> string
+(** The three tables rendered for terminals. *)
+
+val to_json : ?k:int -> t -> Baobs.Json.t
+(** [ba-report/v1]: totals, per-round rows, per-node rows, top talkers,
+    size summaries. *)
+
+val to_csv : t -> string
+(** The per-round timeline as CSV. *)

@@ -369,6 +369,393 @@ let test_jsonl_filters () =
   in
   Alcotest.(check (list int)) "rounds 1-2 only" [ 1; 2 ] nodes
 
+(* --- Ring / Csv edge cases -------------------------------------------------- *)
+
+let test_ring_exact_capacity () =
+  let r = Baobs.Ring.create ~capacity:4 in
+  for i = 1 to 4 do
+    Baobs.Ring.add r i
+  done;
+  Alcotest.(check int) "full, nothing dropped" 0 (Baobs.Ring.dropped r);
+  Alcotest.(check int) "length = capacity" 4 (Baobs.Ring.length r);
+  Alcotest.(check (list int)) "order preserved" [ 1; 2; 3; 4 ]
+    (Baobs.Ring.to_list r);
+  (* One past capacity: exactly the oldest is evicted. *)
+  Baobs.Ring.add r 5;
+  Alcotest.(check int) "first eviction" 1 (Baobs.Ring.dropped r);
+  Alcotest.(check (list int)) "window slides" [ 2; 3; 4; 5 ]
+    (Baobs.Ring.to_list r)
+
+let test_ring_empty_and_invalid () =
+  let r = Baobs.Ring.create ~capacity:3 in
+  Alcotest.(check (list int)) "empty" [] (Baobs.Ring.to_list r);
+  Alcotest.(check int) "empty length" 0 (Baobs.Ring.length r);
+  Alcotest.(check bool) "capacity 0 rejected" true
+    (match Baobs.Ring.create ~capacity:0 with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_csv_quoting () =
+  Alcotest.(check string) "plain field untouched" "abc" (Baobs.Csv.field "abc");
+  Alcotest.(check string) "comma quoted" "\"a,b\"" (Baobs.Csv.field "a,b");
+  Alcotest.(check string) "newline quoted" "\"a\nb\"" (Baobs.Csv.field "a\nb");
+  Alcotest.(check string) "quote doubled" "\"a\"\"b\"" (Baobs.Csv.field "a\"b");
+  Alcotest.(check string) "row joins quoted cells" "x,\"y,z\",\"q\"\"\""
+    (Baobs.Csv.row [ "x"; "y,z"; "q\"" ]);
+  Alcotest.(check string) "no rows = header only" "a,b\n"
+    (Baobs.Csv.to_string ~header:[ "a"; "b" ] [])
+
+let test_series_empty_exports () =
+  let series = Baobs.Series.create ~n:5 in
+  let csv = Baobs.Series.to_csv series in
+  Alcotest.(check int) "csv is header only" 1
+    (List.length (List.filter (fun l -> l <> "") (String.split_on_char '\n' csv)));
+  let json = Baobs.Series.to_json series in
+  Alcotest.(check int) "zero total"
+    0
+    Baobs.Json.(
+      as_int (member_exn "multicasts" (member_exn "totals" json)));
+  Alcotest.(check int) "max_round of empty" (-2) (Baobs.Series.max_round series)
+
+(* --- Probe spans / clamp ---------------------------------------------------- *)
+
+(* Probe timestamps come from wall-clock [Unix.gettimeofday], which can
+   step backwards under NTP; a span closed across a step must clamp to
+   zero rather than subtract from the cumulative total. We simulate the
+   backwards step by closing a span whose open token lies in the
+   future. *)
+let test_probe_negative_span_clamped () =
+  let p = Baobs.Probe.register "test.clamp" in
+  Baobs.Probe.reset ();
+  Baobs.Probe.enable ();
+  let future = (Unix.gettimeofday () *. 1e9) +. 3.6e12 (* one hour ahead *) in
+  Baobs.Probe.stop p future;
+  Baobs.Probe.disable ();
+  (match
+     List.find_opt (fun (n, _, _) -> n = "test.clamp") (Baobs.Probe.snapshot ())
+   with
+  | Some (_, count, total_ns) ->
+      Alcotest.(check int) "span still counted" 1 count;
+      Alcotest.(check (float 0.0)) "duration clamped to zero" 0.0 total_ns
+  | None -> Alcotest.fail "clamped probe missing from snapshot");
+  Baobs.Probe.reset ()
+
+let test_probe_span_ring () =
+  let p = Baobs.Probe.register "test.spanring" in
+  Baobs.Probe.record_spans ~capacity:4;
+  Baobs.Probe.reset ();
+  Baobs.Probe.enable ();
+  for _ = 1 to 6 do
+    Baobs.Probe.time p (fun () -> ignore (Sys.opaque_identity (1 + 1)))
+  done;
+  Baobs.Probe.disable ();
+  let spans = Baobs.Probe.spans () in
+  Alcotest.(check int) "ring keeps the last capacity spans" 4
+    (List.length spans);
+  Alcotest.(check int) "two spans evicted" 2 (Baobs.Probe.spans_dropped ());
+  List.iter
+    (fun (s : Baobs.Probe.span) ->
+      Alcotest.(check string) "span names the probe" "test.spanring"
+        s.Baobs.Probe.probe;
+      Alcotest.(check bool) "nonnegative duration" true
+        (s.Baobs.Probe.dur_ns >= 0.0))
+    spans;
+  (* reset empties the ring but keeps it installed. *)
+  Baobs.Probe.reset ();
+  Alcotest.(check (list string)) "reset clears spans" []
+    (List.map (fun (s : Baobs.Probe.span) -> s.Baobs.Probe.probe)
+       (Baobs.Probe.spans ()));
+  Alcotest.(check bool) "still recording" true (Baobs.Probe.recording_spans ())
+
+(* --- Chrome trace ----------------------------------------------------------- *)
+
+let required_keys = [ "name"; "ph"; "ts"; "pid"; "tid" ]
+
+let check_trace_events json =
+  let events =
+    Baobs.Json.(as_list (member_exn "traceEvents" json))
+  in
+  Alcotest.(check bool) "has events" true (events <> []);
+  List.iter
+    (fun e ->
+      List.iter
+        (fun key ->
+          match Baobs.Json.member key e with
+          | Some _ -> ()
+          | None -> Alcotest.fail (Printf.sprintf "event missing %S" key))
+        required_keys)
+    events;
+  events
+
+let test_chrome_trace_of_spans () =
+  let spans =
+    [ { Baobs.Probe.probe = "engine.honest_step"; start_ns = 5.0e9; dur_ns = 1.0e6 };
+      { Baobs.Probe.probe = "vrf.eval"; start_ns = 5.001e9; dur_ns = 2.0e5 } ]
+  in
+  let json = Baobs.Chrome_trace.of_spans spans in
+  let events = check_trace_events json in
+  (* Timestamps are normalized to the earliest span and in µs. *)
+  let xs =
+    List.filter
+      (fun e -> Baobs.Json.(as_string (member_exn "ph" e)) = "X")
+      events
+  in
+  Alcotest.(check int) "one X event per span" 2 (List.length xs);
+  let ts =
+    List.map (fun e -> Baobs.Json.(as_float (member_exn "ts" e))) xs
+  in
+  Alcotest.(check bool) "earliest span at ts 0" true (List.mem 0.0 ts);
+  Alcotest.(check bool) "all ts within run" true
+    (List.for_all (fun t -> t >= 0.0 && t <= 1.0e4) ts);
+  (* The whole document survives a JSON round-trip. *)
+  Alcotest.(check bool) "chrome json roundtrip" true
+    (Baobs.Json.of_string (Baobs.Json.to_string json) = json)
+
+let test_chrome_trace_of_profile_totals_only () =
+  (* A profile with probe totals but no recorded spans still converts:
+     each probe becomes one bar carrying its call count. *)
+  Baobs.Probe.reset ();
+  Baobs.Probe.enable ();
+  let p = Baobs.Probe.register "test.profile" in
+  Baobs.Probe.stop p (Unix.gettimeofday () *. 1e9);
+  Baobs.Probe.disable ();
+  let profile =
+    Baobs.Json.of_string
+      (Baobs.Json.to_string
+         (Baobs.Json.Obj
+            [ ("schema", Baobs.Json.String "ba-profile/v1");
+              ("probes", Baobs.Probe.to_json ());
+              ("spans", Baobs.Json.List []) ]))
+  in
+  let events = check_trace_events (Baobs.Chrome_trace.of_profile profile) in
+  Alcotest.(check bool) "aggregate bar present" true
+    (List.exists
+       (fun e -> Baobs.Json.(as_string (member_exn "name" e)) = "test.profile")
+       events);
+  Baobs.Probe.reset ()
+
+(* --- Bench compare ---------------------------------------------------------- *)
+
+let bench_json results =
+  Baobs.Json.Obj
+    [ ("schema", Baobs.Json.String "ba-bench/v1");
+      ( "results",
+        Baobs.Json.List
+          (List.map
+             (fun (name, ns) ->
+               Baobs.Json.Obj
+                 [ ("name", Baobs.Json.String name);
+                   ( "ns_per_run",
+                     match ns with
+                     | Some v -> Baobs.Json.Float v
+                     | None -> Baobs.Json.Null ) ])
+             results) ) ]
+
+let test_bench_compare_identical () =
+  let report =
+    bench_json [ ("a", Some 100.0); ("b", Some 2.0e6); ("c", None) ]
+  in
+  let cmp = Baobs.Bench_compare.diff ~base:report ~current:report () in
+  Alcotest.(check bool) "no regressions" false
+    (Baobs.Bench_compare.has_regressions cmp);
+  Alcotest.(check int) "exit 0 on identical" 0
+    (Baobs.Bench_compare.exit_code cmp)
+
+let test_bench_compare_regression () =
+  let base = bench_json [ ("a", Some 100.0); ("b", Some 2.0e6) ] in
+  let current = bench_json [ ("a", Some 100.0); ("b", Some 4.0e6) ] in
+  let cmp = Baobs.Bench_compare.diff ~base ~current () in
+  Alcotest.(check int) "exit nonzero on a 2x regression" 1
+    (Baobs.Bench_compare.exit_code cmp);
+  (match Baobs.Bench_compare.regressions cmp with
+  | [ r ] ->
+      Alcotest.(check string) "the regressed benchmark" "b"
+        r.Baobs.Bench_compare.name;
+      Alcotest.(check (float 1e-9)) "ratio 2x" 2.0
+        (match r.Baobs.Bench_compare.ratio with Some x -> x | None -> nan)
+  | rows ->
+      Alcotest.fail
+        (Printf.sprintf "expected one regression, got %d" (List.length rows)));
+  (* The comparison artifact is valid JSON and records the count. *)
+  let json = Baobs.Bench_compare.to_json cmp in
+  let parsed = Baobs.Json.of_string (Baobs.Json.to_string json) in
+  Alcotest.(check int) "json regression count" 1
+    Baobs.Json.(as_int (member_exn "regressions" parsed))
+
+let test_bench_compare_statuses () =
+  let base =
+    bench_json
+      [ ("gone", Some 10.0); ("same", Some 100.0); ("faster", Some 100.0);
+        ("null", None) ]
+  in
+  let current =
+    bench_json
+      [ ("same", Some 105.0); ("faster", Some 50.0); ("new", Some 7.0);
+        ("null", None) ]
+  in
+  let cmp = Baobs.Bench_compare.diff ~base ~current () in
+  let status name =
+    match
+      List.find_opt
+        (fun r -> r.Baobs.Bench_compare.name = name)
+        cmp.Baobs.Bench_compare.rows
+    with
+    | Some r -> Baobs.Bench_compare.status_name r.Baobs.Bench_compare.status
+    | None -> "absent"
+  in
+  Alcotest.(check string) "removed" "removed" (status "gone");
+  Alcotest.(check string) "added" "added" (status "new");
+  Alcotest.(check string) "unchanged" "unchanged" (status "same");
+  Alcotest.(check string) "improvement" "improvement" (status "faster");
+  Alcotest.(check string) "no estimate" "no-estimate" (status "null");
+  Alcotest.(check int) "none of these gate" 0
+    (Baobs.Bench_compare.exit_code cmp)
+
+(* --- Report ----------------------------------------------------------------- *)
+
+let totals_from_round_table report =
+  (* Recompute the aggregates purely from the per-round table — the
+     acceptance criterion: the table alone reproduces Metrics. *)
+  List.fold_left
+    (fun (m, mb, u, r) (_, c) ->
+      ( m + c.Baobs_report.Report.multicasts,
+        mb + c.Baobs_report.Report.multicast_bits,
+        u + c.Baobs_report.Report.unicasts,
+        r + c.Baobs_report.Report.removals ))
+    (0, 0, 0, 0)
+    (Baobs_report.Report.rounds report)
+
+let test_report_reproduces_metrics_e1 () =
+  (* Seeded E1: strongly adaptive eraser vs sub-hm, the run whose trace
+     carries removals — Definition-7 accounting must survive the
+     trace -> JSONL -> re-parse -> report pipeline exactly. *)
+  let result, _, jsonl =
+    run_sub_hm_with_series ~n:101 ~lambda:20 ~max_epochs:5 ~budget:30
+      ~adversary:(Baattacks.Eraser.make ())
+      ~inputs:(Scenario.unanimous_inputs ~n:101 true)
+      ~seed:7L
+  in
+  let report = Baobs_report.Report.of_jsonl_string jsonl in
+  let m = result.Engine.metrics in
+  let multicasts, multicast_bits, unicasts, removals =
+    totals_from_round_table report
+  in
+  Alcotest.(check bool) "scenario has removals" true (Metrics.removals m > 0);
+  Alcotest.(check int) "per-round multicasts = Metrics"
+    (Metrics.honest_multicasts m) multicasts;
+  Alcotest.(check int) "per-round multicast bits = Metrics (Definition 7)"
+    (Metrics.honest_multicast_bits m)
+    multicast_bits;
+  Alcotest.(check int) "per-round unicasts = Metrics"
+    (Metrics.honest_unicasts m) unicasts;
+  Alcotest.(check int) "per-round removals = Metrics" (Metrics.removals m)
+    removals;
+  (* The same aggregates via the totals record and per-node table. *)
+  let t = Baobs_report.Report.totals report in
+  Alcotest.(check int) "totals multicasts" (Metrics.honest_multicasts m)
+    t.Baobs_report.Report.multicasts;
+  Alcotest.(check int) "node-table multicasts"
+    (Metrics.honest_multicasts m)
+    (List.fold_left
+       (fun acc (_, c) -> acc + c.Baobs_report.Report.multicasts)
+       0
+       (Baobs_report.Report.nodes report));
+  Alcotest.(check int) "corruptions = engine count" result.Engine.corruptions
+    t.Baobs_report.Report.corruptions;
+  (* Internal consistency gate used by CI. *)
+  match Baobs_report.Report.check report with
+  | Ok () -> ()
+  | Error errors -> Alcotest.fail (String.concat "; " errors)
+
+let test_report_exports () =
+  let _, _, jsonl =
+    run_sub_hm_with_series ~n:101 ~lambda:20 ~max_epochs:5 ~budget:0
+      ~adversary:(passive ())
+      ~inputs:(Scenario.split_inputs ~n:101)
+      ~seed:3L
+  in
+  let report = Baobs_report.Report.of_jsonl_string jsonl in
+  (* JSON round-trips and its totals equal the accessors. *)
+  let json = Baobs_report.Report.to_json ~k:3 report in
+  let parsed = Baobs.Json.of_string (Baobs.Json.to_string json) in
+  Alcotest.(check bool) "report json roundtrip" true (parsed = json);
+  let t = Baobs_report.Report.totals report in
+  Alcotest.(check int) "json totals multicasts"
+    t.Baobs_report.Report.multicasts
+    Baobs.Json.(as_int (member_exn "multicasts" (member_exn "totals" parsed)));
+  Alcotest.(check bool) "top talkers truncated to k" true
+    (List.length Baobs.Json.(as_list (member_exn "top_talkers" parsed)) <= 3);
+  (* p50/p95/p99 summary present for multicast sizes. *)
+  (match Baobs_report.Report.multicast_size_summary report with
+  | Some s ->
+      Alcotest.(check bool) "p50 <= p95 <= p99" true
+        (s.Bastats.Summary.p50 <= s.Bastats.Summary.p95
+        && s.Bastats.Summary.p95 <= s.Bastats.Summary.p99)
+  | None -> Alcotest.fail "expected multicast sizes");
+  (* CSV: header + one row per round, constant arity. *)
+  let csv = Baobs_report.Report.to_csv report in
+  (match List.filter (fun l -> l <> "") (String.split_on_char '\n' csv) with
+  | header :: rows ->
+      Alcotest.(check int) "csv rows = rounds with activity"
+        (List.length (Baobs_report.Report.rounds report))
+        (List.length rows);
+      let arity l = List.length (String.split_on_char ',' l) in
+      List.iter
+        (fun row -> Alcotest.(check int) "csv row arity" (arity header) (arity row))
+        rows
+  | [] -> Alcotest.fail "empty report csv");
+  (* Text rendering contains all three table titles. *)
+  let text = Baobs_report.Report.to_text report in
+  let contains needle =
+    let nn = String.length needle and tn = String.length text in
+    let rec scan i =
+      i + nn <= tn && (String.sub text i nn = needle || scan (i + 1))
+    in
+    scan 0
+  in
+  List.iter
+    (fun title ->
+      Alcotest.(check bool) ("text mentions " ^ title) true (contains title))
+    [ "Per-round timeline"; "Top talkers"; "Message sizes" ]
+
+let test_report_empty_trace () =
+  let report = Baobs_report.Report.of_events [] in
+  Alcotest.(check int) "no events" 0 (Baobs_report.Report.event_count report);
+  Alcotest.(check (list int)) "no rounds" []
+    (List.map fst (Baobs_report.Report.rounds report));
+  Alcotest.(check bool) "no sizes" true
+    (Baobs_report.Report.multicast_size_summary report = None);
+  (match Baobs_report.Report.check report with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail (String.concat "; " e));
+  (* Exporters cope with emptiness. *)
+  Alcotest.(check bool) "csv is header only" true
+    (List.length
+       (List.filter
+          (fun l -> l <> "")
+          (String.split_on_char '\n' (Baobs_report.Report.to_csv report)))
+    = 1);
+  Alcotest.(check bool) "json still valid" true
+    (Baobs.Json.of_string
+       (Baobs.Json.to_string (Baobs_report.Report.to_json report))
+    = Baobs_report.Report.to_json report)
+
+(* --- Sink path validation --------------------------------------------------- *)
+
+let test_validate_path () =
+  Alcotest.(check bool) "missing parent rejected" true
+    (match Baobs.Jsonl.validate_path "/nonexistent-xyz/trace.jsonl" with
+    | Error _ -> true
+    | Ok () -> false);
+  Alcotest.(check bool) "existing directory as target rejected" true
+    (match Baobs.Jsonl.validate_path "." with Error _ -> true | Ok () -> false);
+  Alcotest.(check bool) "cwd-relative file accepted" true
+    (Baobs.Jsonl.validate_path "some-new-file.jsonl" = Ok ());
+  let tmp = Filename.temp_file "baobs" ".jsonl" in
+  Alcotest.(check bool) "existing file accepted (overwrite)" true
+    (Baobs.Jsonl.validate_path tmp = Ok ());
+  Sys.remove tmp
+
 (* --- Trace collector fixes -------------------------------------------------- *)
 
 let test_collector_memoized_events () =
@@ -395,11 +782,40 @@ let () =
           Alcotest.test_case "rates" `Quick test_rates_json_roundtrip ] );
       ( "ring",
         [ Alcotest.test_case "drops oldest" `Quick test_ring_drops_oldest;
-          Alcotest.test_case "trace ring" `Quick test_trace_ring ] );
+          Alcotest.test_case "trace ring" `Quick test_trace_ring;
+          Alcotest.test_case "exact capacity boundary" `Quick
+            test_ring_exact_capacity;
+          Alcotest.test_case "empty and invalid" `Quick
+            test_ring_empty_and_invalid ] );
+      ( "csv",
+        [ Alcotest.test_case "quoting" `Quick test_csv_quoting;
+          Alcotest.test_case "empty series exports" `Quick
+            test_series_empty_exports ] );
       ( "probe",
         [ Alcotest.test_case "spans" `Quick test_probe_spans;
           Alcotest.test_case "two-domain hammer" `Quick
-            test_probe_two_domain_hammer ] );
+            test_probe_two_domain_hammer;
+          Alcotest.test_case "negative span clamped" `Quick
+            test_probe_negative_span_clamped;
+          Alcotest.test_case "span ring" `Quick test_probe_span_ring ] );
+      ( "chrome-trace",
+        [ Alcotest.test_case "required keys from spans" `Quick
+            test_chrome_trace_of_spans;
+          Alcotest.test_case "totals-only profile" `Quick
+            test_chrome_trace_of_profile_totals_only ] );
+      ( "bench-compare",
+        [ Alcotest.test_case "identical inputs exit 0" `Quick
+            test_bench_compare_identical;
+          Alcotest.test_case "2x regression exits nonzero" `Quick
+            test_bench_compare_regression;
+          Alcotest.test_case "statuses" `Quick test_bench_compare_statuses ] );
+      ( "report",
+        [ Alcotest.test_case "e1 reproduces Metrics" `Quick
+            test_report_reproduces_metrics_e1;
+          Alcotest.test_case "exports" `Quick test_report_exports;
+          Alcotest.test_case "empty trace" `Quick test_report_empty_trace ] );
+      ( "sink-path",
+        [ Alcotest.test_case "validate_path" `Quick test_validate_path ] );
       ( "series",
         [ Alcotest.test_case "e1 eraser scenario" `Quick
             test_series_matches_metrics_e1;
