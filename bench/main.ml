@@ -14,6 +14,8 @@
      dune exec bench/main.exe              # full run
      dune exec bench/main.exe -- --quick   # reduced repetitions
      dune exec bench/main.exe -- --jobs 4  # trial parallelism
+     dune exec bench/main.exe -- --out BENCH_2.json --against BENCH_1.json
+                                           # write elsewhere + regression gate
 *)
 
 open Bechamel
@@ -36,9 +38,14 @@ let jobs =
   | Some j when j >= 1 -> j
   | Some _ | None -> Bapar.Pool.default_jobs ()
 
-(* --against FILE: after writing BENCH_1.json, diff it against FILE and
+(* --against FILE: after writing the report, diff it against FILE and
    exit nonzero on a regression past --threshold (default 20%). *)
 let against = flag_value "--against"
+
+(* --out FILE: where to write the report (default BENCH_1.json, the
+   recorded baseline; successor baselines go to BENCH_2.json etc.). *)
+let bench_json_path =
+  match flag_value "--out" with Some path -> path | None -> "BENCH_1.json"
 
 let threshold =
   match Option.bind (flag_value "--threshold") float_of_string_opt with
@@ -300,8 +307,6 @@ let engine_counter_summaries () =
   in
   [ summarize "e1.eraser-vs-sub-hm-n401" (eraser_n401 ());
     summarize "e2.sub-hm-passive-n401" (passive_n401 ()) ]
-
-let bench_json_path = "BENCH_1.json"
 
 let write_bench_json ~quota_s named =
   let open Baobs.Json in

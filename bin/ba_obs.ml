@@ -130,7 +130,7 @@ let profile_cmd =
 
 (* ---------- compare ----------------------------------------------------- *)
 
-let run_compare base current threshold json_out =
+let run_compare base current threshold only json_out =
   guarded (fun () ->
       if threshold <= 0.0 then begin
         prerr_endline "ba_obs: --threshold must be positive";
@@ -138,7 +138,7 @@ let run_compare base current threshold json_out =
       end
       else begin
         let cmp =
-          Baobs.Bench_compare.diff ~threshold ~base:(read_json base)
+          Baobs.Bench_compare.diff ~threshold ?only ~base:(read_json base)
             ~current:(read_json current) ()
         in
         print_string (Baobs.Bench_compare.render cmp);
@@ -170,6 +170,16 @@ let threshold_arg =
           "Regression threshold as a fraction: a benchmark regresses when \
            current/base exceeds 1 + $(docv) (default 0.2 = 20%).")
 
+let only_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "only" ] ~docv:"PREFIX"
+        ~doc:
+          "Restrict the comparison to benchmarks whose name starts with \
+           $(docv) (e.g. ba/crypto/ to gate on the low-noise microbenches \
+           only).")
+
 let json_out_arg =
   Arg.(
     value
@@ -185,7 +195,7 @@ let compare_cmd =
   Cmd.v
     (Cmd.info "compare" ~doc)
     Term.(const run_compare $ base_arg $ current_arg $ threshold_arg
-          $ json_out_arg)
+          $ only_arg $ json_out_arg)
 
 (* ---------- group ------------------------------------------------------- *)
 

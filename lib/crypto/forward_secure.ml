@@ -1,6 +1,12 @@
 type scheme = {
   masters : string array;
+  master_kctxs : Hmac.key_ctx array;
   current : int array;  (* lowest signable slot per node *)
+  (* Memoized slot-key midstates, keyed by (signer, slot). Purely a
+     performance cache inside the idealized functionality: erasure is
+     enforced by [current], not by forgetting derived keys, so keeping
+     them cached changes no observable behavior. *)
+  slot_kctxs : (int * int, Hmac.key_ctx) Hashtbl.t;
 }
 
 type tag = string
@@ -8,7 +14,11 @@ type tag = string
 type capability = Master | From_slot of int
 
 let setup ~n rng =
-  { masters = Array.init n (fun _ -> Prf.gen rng); current = Array.make n 0 }
+  let masters = Array.init n (fun _ -> Prf.gen rng) in
+  { masters;
+    master_kctxs = Array.map (fun key -> Hmac.precompute ~key) masters;
+    current = Array.make n 0;
+    slot_kctxs = Hashtbl.create 256 }
 
 let check_range scheme i =
   if i < 0 || i >= Array.length scheme.masters then
@@ -18,11 +28,20 @@ let current_slot scheme i =
   check_range scheme i;
   scheme.current.(i)
 
-let slot_key scheme ~signer ~slot =
-  Hmac.mac_concat ~key:scheme.masters.(signer) [ "fs-slot"; string_of_int slot ]
+let slot_kctx scheme ~signer ~slot =
+  match Hashtbl.find_opt scheme.slot_kctxs (signer, slot) with
+  | Some kctx -> kctx
+  | None ->
+      let key =
+        Hmac.mac_concat_with scheme.master_kctxs.(signer)
+          [ "fs-slot"; string_of_int slot ]
+      in
+      let kctx = Hmac.precompute ~key in
+      Hashtbl.replace scheme.slot_kctxs (signer, slot) kctx;
+      kctx
 
 let raw_sign scheme ~signer ~slot msg =
-  Hmac.mac_concat ~key:(slot_key scheme ~signer ~slot) [ "fs-sig"; msg ]
+  Hmac.mac_concat_with (slot_kctx scheme ~signer ~slot) [ "fs-sig"; msg ]
 
 let sign scheme ~signer ~slot msg =
   check_range scheme signer;

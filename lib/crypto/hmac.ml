@@ -12,32 +12,49 @@ let xor_pad padded byte =
   String.init block_size (fun i ->
       Char.chr (Char.code (Bytes.get padded i) lxor byte))
 
-let with_pads ~key inner_feed =
+(* Midstates with the ipad/opad block already absorbed. Every tag under
+   the same key starts from these, so a precomputed key pays one
+   compression for the message and one for the outer digest instead of
+   additionally re-absorbing both 64-byte pads. *)
+type key_ctx = { inner0 : Sha256.ctx; outer0 : Sha256.ctx }
+
+let precompute ~key =
   let padded = pad_key key in
   let ipad = xor_pad padded 0x36 and opad = xor_pad padded 0x5c in
-  let inner = Sha256.init () in
-  Sha256.feed_string inner ipad;
-  inner_feed inner;
+  let inner0 = Sha256.init () in
+  Sha256.feed_string inner0 ipad;
+  let outer0 = Sha256.init () in
+  Sha256.feed_string outer0 opad;
+  { inner0; outer0 }
+
+let finish kctx inner =
   let inner_digest = Sha256.finalize inner in
-  let outer = Sha256.init () in
-  Sha256.feed_string outer opad;
+  let outer = Sha256.copy kctx.outer0 in
   Sha256.feed_string outer inner_digest;
   Sha256.finalize outer
 
-let mac ~key msg = with_pads ~key (fun ctx -> Sha256.feed_string ctx msg)
+let mac_with kctx msg =
+  let inner = Sha256.copy kctx.inner0 in
+  Sha256.feed_string inner msg;
+  finish kctx inner
 
-let mac_concat ~key parts =
-  (* Reuse the injective encoding of Sha256.digest_concat: 8-byte big-endian
-     length prefix before each part. *)
-  let encode part =
-    let n = String.length part in
-    let prefix =
-      String.init 8 (fun i -> Char.chr ((n lsr (8 * (7 - i))) land 0xff))
-    in
-    prefix ^ part
+(* Reuse the injective encoding of Sha256.digest_concat: 8-byte big-endian
+   length prefix before each part. *)
+let encode part =
+  let n = String.length part in
+  let prefix =
+    String.init 8 (fun i -> Char.chr ((n lsr (8 * (7 - i))) land 0xff))
   in
-  with_pads ~key (fun ctx ->
-      List.iter (fun part -> Sha256.feed_string ctx (encode part)) parts)
+  prefix ^ part
+
+let mac_concat_with kctx parts =
+  let inner = Sha256.copy kctx.inner0 in
+  List.iter (fun part -> Sha256.feed_string inner (encode part)) parts;
+  finish kctx inner
+
+let mac ~key msg = mac_with (precompute ~key) msg
+
+let mac_concat ~key parts = mac_concat_with (precompute ~key) parts
 
 let equal a b =
   if String.length a <> String.length b then false

@@ -3,7 +3,14 @@
     The message-authentication code used as the PRF of the paper's
     Appendix-D compiler and as the tag algorithm of the idealized signature
     functionality. Validated against the RFC 4231 test vectors in the test
-    suite. *)
+    suite.
+
+    Every simulated crypto primitive in this repository (PRF, VRF, Fmine,
+    signatures, NIZK) evaluates HMAC thousands of times per run under a
+    {e fixed} key, so precomputing the key pads is the dominant saving:
+    {!precompute} absorbs the ipad/opad blocks once and {!mac_with} then
+    costs two SHA-256 compressions per short message instead of four.
+    [mac ~key msg = mac_with (precompute ~key) msg] bit-for-bit. *)
 
 val mac : key:string -> string -> string
 (** [mac ~key msg] is the 32-byte HMAC-SHA256 tag of [msg] under [key].
@@ -13,6 +20,22 @@ val mac : key:string -> string -> string
 val mac_concat : key:string -> string list -> string
 (** [mac_concat ~key parts] tags the injective length-prefixed encoding of
     [parts] (same encoding as {!Sha256.digest_concat}). *)
+
+type key_ctx
+(** A precomputed key: the SHA-256 midstates with the ipad/opad blocks
+    already absorbed. Immutable and reusable across any number of tags. *)
+
+val precompute : key:string -> key_ctx
+(** [precompute ~key] derives the pad midstates for [key] (two SHA-256
+    compressions, paid once per key instead of once per tag). *)
+
+val mac_with : key_ctx -> string -> string
+(** [mac_with kctx msg = mac ~key msg] for the [key] that produced
+    [kctx], at half the compression count for short messages. *)
+
+val mac_concat_with : key_ctx -> string list -> string
+(** [mac_concat_with kctx parts = mac_concat ~key parts] for the [key]
+    that produced [kctx]. *)
 
 val equal : string -> string -> bool
 (** Constant-time comparison of two equal-length tags; [false] on length

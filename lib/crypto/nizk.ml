@@ -1,4 +1,4 @@
-type crs = { trapdoor : string }
+type crs = { trapdoor : Hmac.key_ctx }
 
 type statement = {
   rho : string;
@@ -15,9 +15,11 @@ type proof = { tag : string }
 let simulated_proof_bytes = 384
 
 let gen rng =
-  { trapdoor =
-      String.init 32 (fun _ ->
-          Char.chr (Int64.to_int (Int64.logand (Rng.next_int64 rng) 0xffL))) }
+  let key =
+    String.init 32 (fun _ ->
+        Char.chr (Int64.to_int (Int64.logand (Rng.next_int64 rng) 0xffL)))
+  in
+  { trapdoor = Hmac.precompute ~key }
 
 let encode_statement stmt =
   Sha256.digest_concat [ "nizk-stmt"; stmt.rho; stmt.com; stmt.crs_comm; stmt.msg ]
@@ -30,10 +32,10 @@ let in_language crs_comm stmt w =
 let prove crs crs_comm stmt w =
   if not (in_language crs_comm stmt w) then
     invalid_arg "Nizk.prove: statement not in the language";
-  { tag = Hmac.mac ~key:crs.trapdoor (encode_statement stmt) }
+  { tag = Hmac.mac_with crs.trapdoor (encode_statement stmt) }
 
 let verify crs stmt proof =
-  Hmac.equal proof.tag (Hmac.mac ~key:crs.trapdoor (encode_statement stmt))
+  Hmac.equal proof.tag (Hmac.mac_with crs.trapdoor (encode_statement stmt))
 
 let proof_bits _ = simulated_proof_bytes * 8
 

@@ -5,6 +5,12 @@ let gen rng =
 
 let eval key msg = Hmac.mac ~key msg
 
+type cached = Hmac.key_ctx
+
+let cache key = Hmac.precompute ~key
+
+let eval_cached c msg = Hmac.mac_with c msg
+
 let output_fraction rho =
   (* Interpret the first 53 bits as a binary fraction. *)
   let bits = ref 0L in

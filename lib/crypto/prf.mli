@@ -17,6 +17,18 @@ val eval : key -> string -> string
 (** [eval key msg] is the 32-byte PRF output on [msg]. Deterministic in
     [(key, msg)]. *)
 
+type cached
+(** A key with its HMAC pad midstates precomputed ({!Hmac.precompute}).
+    Callers that evaluate the PRF many times under one key (mining, VRF
+    evaluation) should cache once and use {!eval_cached}. *)
+
+val cache : key -> cached
+(** [cache key] precomputes the HMAC midstates for [key]. *)
+
+val eval_cached : cached -> string -> string
+(** [eval_cached (cache key) msg = eval key msg], bit for bit, at half the
+    compression count for short messages. *)
+
 val output_fraction : string -> float
 (** [output_fraction rho] maps a PRF output to a uniform value in [\[0,1)]
     (first 53 bits of [rho], big-endian). Used to compare against

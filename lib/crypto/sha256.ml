@@ -1,108 +1,177 @@
 let digest_size = 32
 
+(* The compression core runs on untagged native [int]s masked to 32 bits
+   instead of boxed [Int32.t]: every Int32 operation allocates a box, and
+   a single compression performs ~600 of them, so the boxed version spends
+   most of its time in the allocator. Deferred masking keeps intermediate
+   sums (at most five 32-bit terms, < 2^35) exact, which needs a few bits
+   of headroom above 32 — any 64-bit OCaml qualifies. *)
+let () = assert (Sys.int_size >= 36)
+
 let k =
-  [| 0x428a2f98l; 0x71374491l; 0xb5c0fbcfl; 0xe9b5dba5l; 0x3956c25bl;
-     0x59f111f1l; 0x923f82a4l; 0xab1c5ed5l; 0xd807aa98l; 0x12835b01l;
-     0x243185bel; 0x550c7dc3l; 0x72be5d74l; 0x80deb1fel; 0x9bdc06a7l;
-     0xc19bf174l; 0xe49b69c1l; 0xefbe4786l; 0x0fc19dc6l; 0x240ca1ccl;
-     0x2de92c6fl; 0x4a7484aal; 0x5cb0a9dcl; 0x76f988dal; 0x983e5152l;
-     0xa831c66dl; 0xb00327c8l; 0xbf597fc7l; 0xc6e00bf3l; 0xd5a79147l;
-     0x06ca6351l; 0x14292967l; 0x27b70a85l; 0x2e1b2138l; 0x4d2c6dfcl;
-     0x53380d13l; 0x650a7354l; 0x766a0abbl; 0x81c2c92el; 0x92722c85l;
-     0xa2bfe8a1l; 0xa81a664bl; 0xc24b8b70l; 0xc76c51a3l; 0xd192e819l;
-     0xd6990624l; 0xf40e3585l; 0x106aa070l; 0x19a4c116l; 0x1e376c08l;
-     0x2748774cl; 0x34b0bcb5l; 0x391c0cb3l; 0x4ed8aa4al; 0x5b9cca4fl;
-     0x682e6ff3l; 0x748f82eel; 0x78a5636fl; 0x84c87814l; 0x8cc70208l;
-     0x90befffal; 0xa4506cebl; 0xbef9a3f7l; 0xc67178f2l |]
+  [| 0x428a2f98; 0x71374491; 0xb5c0fbcf; 0xe9b5dba5; 0x3956c25b;
+     0x59f111f1; 0x923f82a4; 0xab1c5ed5; 0xd807aa98; 0x12835b01;
+     0x243185be; 0x550c7dc3; 0x72be5d74; 0x80deb1fe; 0x9bdc06a7;
+     0xc19bf174; 0xe49b69c1; 0xefbe4786; 0x0fc19dc6; 0x240ca1cc;
+     0x2de92c6f; 0x4a7484aa; 0x5cb0a9dc; 0x76f988da; 0x983e5152;
+     0xa831c66d; 0xb00327c8; 0xbf597fc7; 0xc6e00bf3; 0xd5a79147;
+     0x06ca6351; 0x14292967; 0x27b70a85; 0x2e1b2138; 0x4d2c6dfc;
+     0x53380d13; 0x650a7354; 0x766a0abb; 0x81c2c92e; 0x92722c85;
+     0xa2bfe8a1; 0xa81a664b; 0xc24b8b70; 0xc76c51a3; 0xd192e819;
+     0xd6990624; 0xf40e3585; 0x106aa070; 0x19a4c116; 0x1e376c08;
+     0x2748774c; 0x34b0bcb5; 0x391c0cb3; 0x4ed8aa4a; 0x5b9cca4f;
+     0x682e6ff3; 0x748f82ee; 0x78a5636f; 0x84c87814; 0x8cc70208;
+     0x90befffa; 0xa4506ceb; 0xbef9a3f7; 0xc67178f2 |]
 
 type ctx = {
-  h : int32 array;          (* 8-word chaining state *)
+  h : int array;            (* 8-word chaining state, each masked to 32 bits *)
   block : bytes;            (* 64-byte input buffer *)
   mutable used : int;       (* bytes currently buffered *)
-  mutable total : int64;    (* total message length in bytes *)
-  w : int32 array;          (* 64-word message schedule, reused *)
+  mutable total : int;      (* total message length in bytes *)
+  w : int array;            (* 64-word message schedule, reused *)
 }
 
 let init () =
   { h =
-      [| 0x6a09e667l; 0xbb67ae85l; 0x3c6ef372l; 0xa54ff53al; 0x510e527fl;
-         0x9b05688cl; 0x1f83d9abl; 0x5be0cd19l |];
+      [| 0x6a09e667; 0xbb67ae85; 0x3c6ef372; 0xa54ff53a; 0x510e527f;
+         0x9b05688c; 0x1f83d9ab; 0x5be0cd19 |];
     block = Bytes.create 64;
     used = 0;
-    total = 0L;
-    w = Array.make 64 0l }
+    total = 0;
+    w = Array.make 64 0 }
 
-let ( &&& ) = Int32.logand
-let ( ||| ) = Int32.logor
-let ( ^^^ ) = Int32.logxor
-let ( +%  ) = Int32.add
+let copy ctx =
+  { h = Array.copy ctx.h;
+    block = Bytes.copy ctx.block;
+    used = ctx.used;
+    total = ctx.total;
+    (* the schedule is scratch space, valid only within [compress] *)
+    w = Array.make 64 0 }
 
-let rotr x n = Int32.shift_right_logical x n ||| Int32.shift_left x (32 - n)
-let shr x n = Int32.shift_right_logical x n
+let mask32 = 0xffff_ffff
 
-(* Compress the 64-byte block currently in [ctx.block]. *)
-let compress ctx =
-  let b = ctx.block and w = ctx.w and h = ctx.h in
+(* Rotations use the double-word trick: [x lor (x lsl 32)] holds the value
+   twice, so every right-rotation becomes a single logical shift of the
+   doubled word, with one mask shared by the whole xor of rotations. The
+   doubled word may run into OCaml's 63rd (sign) bit; that is harmless
+   because only [lor]/[lsr]/[land] touch it, and the highest bit any
+   rotation here reads sits at position 56. *)
+let[@inline always] big_sigma1 e =
+  let y = e lor (e lsl 32) in
+  ((y lsr 6) lxor (y lsr 11) lxor (y lsr 25)) land mask32
+
+let[@inline always] big_sigma0 a =
+  let y = a lor (a lsl 32) in
+  ((y lsr 2) lxor (y lsr 13) lxor (y lsr 22)) land mask32
+
+(* Three-operation forms of the FIPS choice/majority functions. *)
+let[@inline always] ch e f g = g lxor (e land (f lxor g))
+let[@inline always] maj a b c = (a land b) lor (c land (a lor b))
+
+type acc = { a : int; b : int; c : int; d : int;
+             e : int; f : int; g : int; h : int }
+
+(* Eight rounds per iteration: instead of shuffling the eight state words
+   one slot over after every round, each unrolled round reads and writes
+   the permuted names directly, and after eight rounds the names line up
+   again. The words travel as arguments so they live in registers rather
+   than ref cells (the non-flambda compiler does not unbox refs). *)
+let rec rounds w t a b c d e f g h =
+  if t = 64 then { a; b; c; d; e; f; g; h }
+  else begin
+    let t1 = h + big_sigma1 e + ch e f g
+             + Array.unsafe_get k t + Array.unsafe_get w t in
+    let d = (d + t1) land mask32
+    and h = (t1 + big_sigma0 a + maj a b c) land mask32 in
+    let t1 = g + big_sigma1 d + ch d e f
+             + Array.unsafe_get k (t + 1) + Array.unsafe_get w (t + 1) in
+    let c = (c + t1) land mask32
+    and g = (t1 + big_sigma0 h + maj h a b) land mask32 in
+    let t1 = f + big_sigma1 c + ch c d e
+             + Array.unsafe_get k (t + 2) + Array.unsafe_get w (t + 2) in
+    let b = (b + t1) land mask32
+    and f = (t1 + big_sigma0 g + maj g h a) land mask32 in
+    let t1 = e + big_sigma1 b + ch b c d
+             + Array.unsafe_get k (t + 3) + Array.unsafe_get w (t + 3) in
+    let a = (a + t1) land mask32
+    and e = (t1 + big_sigma0 f + maj f g h) land mask32 in
+    let t1 = d + big_sigma1 a + ch a b c
+             + Array.unsafe_get k (t + 4) + Array.unsafe_get w (t + 4) in
+    let h = (h + t1) land mask32
+    and d = (t1 + big_sigma0 e + maj e f g) land mask32 in
+    let t1 = c + big_sigma1 h + ch h a b
+             + Array.unsafe_get k (t + 5) + Array.unsafe_get w (t + 5) in
+    let g = (g + t1) land mask32
+    and c = (t1 + big_sigma0 d + maj d e f) land mask32 in
+    let t1 = b + big_sigma1 g + ch g h a
+             + Array.unsafe_get k (t + 6) + Array.unsafe_get w (t + 6) in
+    let f = (f + t1) land mask32
+    and b = (t1 + big_sigma0 c + maj c d e) land mask32 in
+    let t1 = a + big_sigma1 f + ch f g h
+             + Array.unsafe_get k (t + 7) + Array.unsafe_get w (t + 7) in
+    let e = (e + t1) land mask32
+    and a = (t1 + big_sigma0 b + maj b c d) land mask32 in
+    rounds w (t + 8) a b c d e f g h
+  end
+
+(* Compress the 64-byte block at offset [base] of [src]. The caller
+   guarantees [base + 64 <= Bytes.length src]; indices into the schedule
+   and state arrays are structurally in range (fixed loop bounds), so the
+   unsafe accessors only skip provably dead checks. *)
+let compress_block ctx src base =
+  let w = ctx.w and h = ctx.h in
   for t = 0 to 15 do
-    let i = t * 4 in
-    let byte j = Int32.of_int (Char.code (Bytes.get b (i + j))) in
-    w.(t) <-
-      Int32.shift_left (byte 0) 24
-      ||| Int32.shift_left (byte 1) 16
-      ||| Int32.shift_left (byte 2) 8
-      ||| byte 3
+    let i = base + (t * 4) in
+    let b0 = Char.code (Bytes.unsafe_get src i)
+    and b1 = Char.code (Bytes.unsafe_get src (i + 1))
+    and b2 = Char.code (Bytes.unsafe_get src (i + 2))
+    and b3 = Char.code (Bytes.unsafe_get src (i + 3)) in
+    Array.unsafe_set w t ((b0 lsl 24) lor (b1 lsl 16) lor (b2 lsl 8) lor b3)
   done;
   for t = 16 to 63 do
-    let s0 =
-      rotr w.(t - 15) 7 ^^^ rotr w.(t - 15) 18 ^^^ shr w.(t - 15) 3
-    and s1 =
-      rotr w.(t - 2) 17 ^^^ rotr w.(t - 2) 19 ^^^ shr w.(t - 2) 10
-    in
-    w.(t) <- w.(t - 16) +% s0 +% w.(t - 7) +% s1
+    let x15 = Array.unsafe_get w (t - 15) and x2 = Array.unsafe_get w (t - 2) in
+    let y15 = x15 lor (x15 lsl 32) and y2 = x2 lor (x2 lsl 32) in
+    let s0 = ((y15 lsr 7) lxor (y15 lsr 18) lxor (x15 lsr 3)) land mask32
+    and s1 = ((y2 lsr 17) lxor (y2 lsr 19) lxor (x2 lsr 10)) land mask32 in
+    Array.unsafe_set w t
+      ((Array.unsafe_get w (t - 16) + s0 + Array.unsafe_get w (t - 7) + s1)
+       land mask32)
   done;
-  let a = ref h.(0) and b' = ref h.(1) and c = ref h.(2) and d = ref h.(3) in
-  let e = ref h.(4) and f = ref h.(5) and g = ref h.(6) and hh = ref h.(7) in
-  for t = 0 to 63 do
-    let sigma1 = rotr !e 6 ^^^ rotr !e 11 ^^^ rotr !e 25 in
-    let ch = (!e &&& !f) ^^^ (Int32.lognot !e &&& !g) in
-    let t1 = !hh +% sigma1 +% ch +% k.(t) +% w.(t) in
-    let sigma0 = rotr !a 2 ^^^ rotr !a 13 ^^^ rotr !a 22 in
-    let maj = (!a &&& !b') ^^^ (!a &&& !c) ^^^ (!b' &&& !c) in
-    let t2 = sigma0 +% maj in
-    hh := !g;
-    g := !f;
-    f := !e;
-    e := !d +% t1;
-    d := !c;
-    c := !b';
-    b' := !a;
-    a := t1 +% t2
-  done;
-  h.(0) <- h.(0) +% !a;
-  h.(1) <- h.(1) +% !b';
-  h.(2) <- h.(2) +% !c;
-  h.(3) <- h.(3) +% !d;
-  h.(4) <- h.(4) +% !e;
-  h.(5) <- h.(5) +% !f;
-  h.(6) <- h.(6) +% !g;
-  h.(7) <- h.(7) +% !hh
+  let r = rounds w 0 h.(0) h.(1) h.(2) h.(3) h.(4) h.(5) h.(6) h.(7) in
+  h.(0) <- (h.(0) + r.a) land mask32;
+  h.(1) <- (h.(1) + r.b) land mask32;
+  h.(2) <- (h.(2) + r.c) land mask32;
+  h.(3) <- (h.(3) + r.d) land mask32;
+  h.(4) <- (h.(4) + r.e) land mask32;
+  h.(5) <- (h.(5) + r.f) land mask32;
+  h.(6) <- (h.(6) + r.g) land mask32;
+  h.(7) <- (h.(7) + r.h) land mask32
+
+let compress ctx = compress_block ctx ctx.block 0
 
 let feed_bytes ctx src ~pos ~len =
   if pos < 0 || len < 0 || pos + len > Bytes.length src then
     invalid_arg "Sha256.feed_bytes: range out of bounds";
-  ctx.total <- Int64.add ctx.total (Int64.of_int len);
+  ctx.total <- ctx.total + len;
   let rec loop pos len =
-    if len > 0 then begin
-      let room = 64 - ctx.used in
-      let take = min room len in
-      Bytes.blit src pos ctx.block ctx.used take;
-      ctx.used <- ctx.used + take;
-      if ctx.used = 64 then begin
-        compress ctx;
-        ctx.used <- 0
-      end;
-      loop (pos + take) (len - take)
-    end
+    if len > 0 then
+      if ctx.used = 0 && len >= 64 then begin
+        (* Whole block available with nothing buffered: compress straight
+           from the source and skip the copy through [ctx.block]. *)
+        compress_block ctx src pos;
+        loop (pos + 64) (len - 64)
+      end
+      else begin
+        let room = 64 - ctx.used in
+        let take = min room len in
+        Bytes.blit src pos ctx.block ctx.used take;
+        ctx.used <- ctx.used + take;
+        if ctx.used = 64 then begin
+          compress ctx;
+          ctx.used <- 0
+        end;
+        loop (pos + take) (len - take)
+      end
   in
   loop pos len
 
@@ -110,7 +179,7 @@ let feed_string ctx s =
   feed_bytes ctx (Bytes.unsafe_of_string s) ~pos:0 ~len:(String.length s)
 
 let finalize ctx =
-  let bit_len = Int64.mul ctx.total 8L in
+  let bit_len = ctx.total * 8 in
   (* Append 0x80, pad with zeros to 56 mod 64, then the 64-bit length. *)
   Bytes.set ctx.block ctx.used '\x80';
   ctx.used <- ctx.used + 1;
@@ -121,19 +190,17 @@ let finalize ctx =
   end;
   Bytes.fill ctx.block ctx.used (56 - ctx.used) '\x00';
   for i = 0 to 7 do
-    let shift = 8 * (7 - i) in
-    let byte = Int64.to_int (Int64.logand (Int64.shift_right_logical bit_len shift) 0xffL) in
-    Bytes.set ctx.block (56 + i) (Char.chr byte)
+    Bytes.set ctx.block (56 + i)
+      (Char.unsafe_chr ((bit_len lsr (8 * (7 - i))) land 0xff))
   done;
   compress ctx;
   let out = Bytes.create 32 in
   for i = 0 to 7 do
     let v = ctx.h.(i) in
-    let byte shift = Char.chr (Int32.to_int (shr v shift &&& 0xffl)) in
-    Bytes.set out (4 * i) (byte 24);
-    Bytes.set out ((4 * i) + 1) (byte 16);
-    Bytes.set out ((4 * i) + 2) (byte 8);
-    Bytes.set out ((4 * i) + 3) (byte 0)
+    Bytes.set out (4 * i) (Char.unsafe_chr ((v lsr 24) land 0xff));
+    Bytes.set out ((4 * i) + 1) (Char.unsafe_chr ((v lsr 16) land 0xff));
+    Bytes.set out ((4 * i) + 2) (Char.unsafe_chr ((v lsr 8) land 0xff));
+    Bytes.set out ((4 * i) + 3) (Char.unsafe_chr (v land 0xff))
   done;
   Bytes.unsafe_to_string out
 

@@ -2,8 +2,10 @@
 
     This is the hash function underlying every other cryptographic component
     in the reproduction: HMAC, the PRF, commitments, and the simulated NIZK
-    tags. It is a plain, portable OCaml implementation — no C stubs — and is
-    validated in the test suite against the official NIST test vectors.
+    tags. It is a from-scratch OCaml implementation — no C stubs — whose
+    compression function runs on untagged native [int]s masked to 32 bits
+    (requires a 64-bit-[int] OCaml, asserted at load), and is validated in
+    the test suite against the official NIST test vectors.
 
     Both a one-shot and an incremental interface are provided. All digests
     are 32 raw bytes; use {!to_hex} for a printable form. *)
@@ -13,6 +15,12 @@ type ctx
 
 val init : unit -> ctx
 (** [init ()] is a fresh context with the standard initial hash state. *)
+
+val copy : ctx -> ctx
+(** [copy ctx] is an independent snapshot of [ctx]: feeding or finalizing
+    either context leaves the other untouched. This is what makes HMAC
+    midstate caching possible — absorb a fixed prefix once, then [copy]
+    per message ({!Hmac.precompute}). *)
 
 val feed_bytes : ctx -> bytes -> pos:int -> len:int -> unit
 (** [feed_bytes ctx b ~pos ~len] absorbs [len] bytes of [b] starting at

@@ -1,9 +1,12 @@
-type scheme = { keys : string array }
+(* [kctxs.(i)] is [keys.(i)] with the HMAC pad midstates precomputed;
+   [keys] is kept as raw bytes for {!corrupt_key}. *)
+type scheme = { keys : string array; kctxs : Hmac.key_ctx array }
 
 type tag = string
 
 let setup ~n rng =
-  { keys = Array.init n (fun _ -> Prf.gen rng) }
+  let keys = Array.init n (fun _ -> Prf.gen rng) in
+  { keys; kctxs = Array.map (fun key -> Hmac.precompute ~key) keys }
 
 let n scheme = Array.length scheme.keys
 
@@ -16,7 +19,7 @@ let p_sign = Baobs.Probe.register "signature.sign"
 let p_verify = Baobs.Probe.register "signature.verify"
 
 let mac scheme ~signer msg =
-  Hmac.mac_concat ~key:scheme.keys.(signer) [ "sig"; msg ]
+  Hmac.mac_concat_with scheme.kctxs.(signer) [ "sig"; msg ]
 
 let sign scheme ~signer msg =
   check_range scheme signer;

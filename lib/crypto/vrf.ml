@@ -1,6 +1,11 @@
 type params = { crs_comm : Commitment.crs; crs_nizk : Nizk.crs }
 
-type sk = { index : int; prf_key : Prf.key; salt : string }
+type sk = {
+  index : int;
+  prf_key : Prf.key;
+  prf_cached : Prf.cached;
+  salt : string;
+}
 
 type pk = { pk_index : int; com : Commitment.t }
 
@@ -10,7 +15,8 @@ let keygen params rng ~index =
   let prf_key = Prf.gen rng in
   let salt = Commitment.fresh_salt rng in
   let com = Commitment.commit params.crs_comm ~value:prf_key ~salt in
-  ({ index; prf_key; salt }, { pk_index = index; com })
+  ({ index; prf_key; prf_cached = Prf.cache prf_key; salt },
+   { pk_index = index; com })
 
 let statement params ~com ~rho ~msg =
   { Nizk.rho;
@@ -24,7 +30,7 @@ let p_verify = Baobs.Probe.register "vrf.verify"
 
 let eval params sk msg =
   let t0 = Baobs.Probe.start () in
-  let rho = Prf.eval sk.prf_key msg in
+  let rho = Prf.eval_cached sk.prf_cached msg in
   let com = Commitment.commit params.crs_comm ~value:sk.prf_key ~salt:sk.salt in
   let stmt = statement params ~com ~rho ~msg in
   let witness = { Nizk.sk = sk.prf_key; salt = sk.salt } in

@@ -16,9 +16,10 @@ type params = {
 }
 
 type sk = {
-  index : int;        (** owning node *)
-  prf_key : Prf.key;  (** committed PRF key *)
-  salt : string;      (** commitment randomness (part of the witness) *)
+  index : int;              (** owning node *)
+  prf_key : Prf.key;        (** committed PRF key *)
+  prf_cached : Prf.cached;  (** same key with HMAC midstates precomputed *)
+  salt : string;            (** commitment randomness (part of the witness) *)
 }
 
 type pk = {

@@ -33,7 +33,7 @@ let hybrid_from_pki pki =
           | Some o -> o
           | None ->
               let sk = Pki.secret_key pki node in
-              let rho = Prf.eval sk.Vrf.prf_key msg in
+              let rho = Prf.eval_cached sk.Vrf.prf_cached msg in
               let o = Prf.below_difficulty rho ~p in
               Hashtbl.replace mined (node, msg) o;
               o

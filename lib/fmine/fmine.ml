@@ -1,13 +1,13 @@
 type record = { outcome : bool; prob : float }
 
 type t = {
-  coin_key : string;              (* hidden; drives the Bernoulli coins *)
+  coin_key : Bacrypto.Prf.cached; (* hidden; drives the Bernoulli coins *)
   table : (int * string, record) Hashtbl.t;
   mutable successes : int;
 }
 
 let create rng =
-  { coin_key = Bacrypto.Prf.gen rng;
+  { coin_key = Bacrypto.Prf.cache (Bacrypto.Prf.gen rng);
     table = Hashtbl.create 1024;
     successes = 0 }
 
@@ -20,9 +20,10 @@ let mine_unprobed t ~node ~msg ~p =
         invalid_arg "Fmine.mine: same (node, msg) mined with a different p";
       r.outcome
   | None ->
+      (* Same bytes as [Printf.sprintf "%d|%s" node msg], minus the
+         format-string interpreter on the hot mining path. *)
       let rho =
-        Bacrypto.Prf.eval t.coin_key
-          (Printf.sprintf "%d|%s" node msg)
+        Bacrypto.Prf.eval_cached t.coin_key (string_of_int node ^ "|" ^ msg)
       in
       let outcome = Bacrypto.Prf.below_difficulty rho ~p in
       Hashtbl.replace t.table (node, msg) { outcome; prob = p };

@@ -55,10 +55,15 @@ let classify ~threshold base cur =
         in
         (Some ratio, status)
 
-let diff ?(threshold = 0.2) ~base ~current () =
+let diff ?(threshold = 0.2) ?only ~base ~current () =
   if threshold <= 0.0 then invalid_arg "Bench_compare.diff: threshold <= 0";
-  let base_results = results_of_json base in
-  let cur_results = results_of_json current in
+  let keep name =
+    match only with
+    | None -> true
+    | Some prefix -> String.starts_with ~prefix name
+  in
+  let base_results = List.filter (fun (name, _) -> keep name) (results_of_json base) in
+  let cur_results = List.filter (fun (name, _) -> keep name) (results_of_json current) in
   let names =
     List.sort_uniq String.compare
       (List.map fst base_results @ List.map fst cur_results)

@@ -28,8 +28,12 @@ val results_of_json : Json.t -> (string * float option) list
 (** The [(name, ns_per_run)] pairs of a report's [results] section.
     @raise Json.Parse_error on a malformed report. *)
 
-val diff : ?threshold:float -> base:Json.t -> current:Json.t -> unit -> t
+val diff :
+  ?threshold:float -> ?only:string -> base:Json.t -> current:Json.t -> unit -> t
 (** Compare two parsed reports. [threshold] is a fraction (0.2 = 20%).
+    [only] restricts the comparison to benchmarks whose name starts with
+    the given prefix (e.g. ["ba/crypto/"] to gate on the low-noise
+    microbenches while the experiment benches stay informational).
     @raise Invalid_argument if [threshold <= 0]. *)
 
 val regressions : t -> row list

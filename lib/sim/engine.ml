@@ -61,15 +61,44 @@ type result = {
   halt_rounds : int option array;
 }
 
-(* A pending delivery: sender, destination, payload, and whether the
-   adversary has erased it. *)
+(* A pending delivery: sender, destination, payload, its wire size
+   (computed once at creation — [msg_bits] is never re-evaluated for the
+   same wire), and whether the adversary has erased it. *)
 type 'msg wire = {
   w_src : int;
-  mutable w_dst : dest;
+  w_dst : dest;
   w_payload : 'msg;
+  w_bits : int;
   mutable erased : bool;
   honest_origin : bool;
 }
+
+(* Growable array of this round's honest wires, reused across rounds
+   (OCaml 5.1 has no stdlib Dynarray). Resetting only rewinds [len]; slots
+   beyond it keep stale wires alive until overwritten, which is fine — they
+   are bounded by the busiest round seen so far. *)
+type 'msg wirebuf = { mutable wb_arr : 'msg wire array; mutable wb_len : int }
+
+let wirebuf_push b w =
+  let cap = Array.length b.wb_arr in
+  if b.wb_len = cap then begin
+    let grown = Array.make (if cap = 0 then 16 else 2 * cap) w in
+    Array.blit b.wb_arr 0 grown 0 b.wb_len;
+    b.wb_arr <- grown
+  end;
+  Array.unsafe_set b.wb_arr b.wb_len w;
+  b.wb_len <- b.wb_len + 1
+
+(* [splice lst d tail] is the first [d] elements of [lst], in order, consed
+   onto [tail]. Delivery uses it to graft the multicasts that arrived since
+   a node's last unicast onto that node's private inbox prefix. [lst] is
+   always long enough by construction. *)
+let rec splice lst d tail =
+  if d = 0 then tail
+  else
+    match lst with
+    | [] -> assert false
+    | x :: rest -> x :: splice rest (d - 1) tail
 
 let illegal fmt = Format.kasprintf (fun s -> raise (Illegal_action s)) fmt
 
@@ -143,23 +172,32 @@ let run_env ?(tracer = fun (_ : Trace.event) -> ()) ?series
   let inboxes = Array.make n [] in
   let round = ref 0 in
   let running = ref true in
-  let honest_active () =
-    (* Is any forever-so-far honest node still running? *)
-    let active = ref false in
-    for i = 0 to n - 1 do
-      if (not (Corruption.is_corrupt tracker i)) && not (proto.halted states.(i))
-      then active := true
-    done;
-    !active
-  in
+  (* Running count of so-far-honest, not-yet-halted nodes, kept in sync at
+     the only two places it can drop (a halt in phase 1, a corruption in
+     phase 2) instead of an O(n) rescan at the end of every round. *)
+  let active = ref 0 in
+  for i = 0 to n - 1 do
+    if (not (Corruption.is_corrupt tracker i)) && not (proto.halted states.(i))
+    then incr active
+  done;
+  (* Per-round structures, allocated once and reset by rewinding/refilling:
+     the honest-wire buffer, the per-node intents, the pair array the
+     adversary view shares (blitted back to all-empty from [empty_pairs]
+     each round), and the delivery accumulators. *)
+  let wires = { wb_arr = [||]; wb_len = 0 } in
+  let intents = Array.make n [] in
+  let empty_pairs = Array.init n (fun i -> (i, [])) in
+  let view_intents = Array.init n (fun i -> (i, [])) in
+  let acc = Array.make n [] in
+  let mark = Array.make n (-1) in
   while !running && !round < max_rounds do
     let r = !round in
     Metrics.note_round metrics r;
     tracer (Trace.Round_started { round = r });
     (* Phase 1: honest nodes compute intents. *)
     let t_step = Baobs.Probe.start () in
-    let wires = ref [] in
-    let intents = Array.make n [] in
+    wires.wb_len <- 0;
+    Array.fill intents 0 n [];
     for i = 0 to n - 1 do
       if (not (Corruption.is_corrupt tracker i)) && not (proto.halted states.(i))
       then begin
@@ -168,43 +206,84 @@ let run_env ?(tracer = fun (_ : Trace.event) -> ()) ?series
         intents.(i) <- sends;
         if proto.halted state' && halt_rounds.(i) = None then begin
           halt_rounds.(i) <- Some r;
+          decr active;
           tracer (Trace.Halted { round = r; node = i; output = proto.output state' })
         end
       end
     done;
-    for i = n - 1 downto 0 do
+    (* Wires are buffered in ascending (node, send) order — the same order
+       the old cons-list construction produced — in a second pass, after
+       every step has run, so [msg_bits] (evaluated once per wire, here)
+       never interleaves with protocol steps. *)
+    for i = 0 to n - 1 do
       List.iter
         (fun send ->
-          wires :=
+          wirebuf_push wires
             { w_src = i;
               w_dst = send.dst;
               w_payload = send.payload;
+              w_bits = proto.msg_bits env send.payload;
               erased = false;
-              honest_origin = true }
-            :: !wires)
-        (List.rev intents.(i))
+              honest_origin = true })
+        intents.(i)
     done;
     Baobs.Probe.stop p_step t_step;
-    (* Phase 2: adversary intervention. *)
+    (* Phase 2: adversary intervention. The view shares the engine's
+       arrays instead of deep-copying them every round: adversaries only
+       read their view (API discipline, checked by the capability lint),
+       and the engine does not touch [view_intents]/[inboxes] again until
+       delivery, after [intervene] has returned. *)
     let t_adv = Baobs.Probe.start () in
+    Array.blit empty_pairs 0 view_intents 0 n;
+    for i = 0 to n - 1 do
+      if intents.(i) <> [] then view_intents.(i) <- (i, intents.(i))
+    done;
     let view =
       { round = r;
         n;
         env;
-        intents = Array.init n (fun i -> (i, intents.(i)));
-        inboxes = Array.copy inboxes;
+        intents = view_intents;
+        inboxes;
         tracker;
         adv_rng }
     in
     let injections = ref [] in
+    (* Positions in [wires] of each victim's intents, built lazily on the
+       first removal that targets the victim this round, so a burst of
+       removals (Eraser at scale) costs O(wires + removals), not
+       O(wires × removals). *)
+    let victim_slots = lazy (Array.make n None) in
+    let victim_positions victim =
+      let slots = Lazy.force victim_slots in
+      match slots.(victim) with
+      | Some positions -> positions
+      | None ->
+          let count = ref 0 in
+          for p = 0 to wires.wb_len - 1 do
+            if (Array.unsafe_get wires.wb_arr p).w_src = victim then incr count
+          done;
+          let positions = Array.make !count 0 in
+          let fill = ref 0 in
+          for p = 0 to wires.wb_len - 1 do
+            if (Array.unsafe_get wires.wb_arr p).w_src = victim then begin
+              positions.(!fill) <- p;
+              incr fill
+            end
+          done;
+          slots.(victim) <- Some positions;
+          positions
+    in
     let apply = function
       | Corrupt i ->
           if i < 0 || i >= n then illegal "corrupt out of range: %d" i;
           if not (Corruption.allows_dynamic_corruption adversary.model) then
             illegal "static adversary cannot corrupt mid-execution";
           require_cap Capability.Midround_corruption;
+          let was_corrupt = Corruption.is_corrupt tracker i in
           if not (Corruption.corrupt_now tracker ~round:r i) then
             illegal "corruption budget exhausted";
+          if (not was_corrupt) && not (proto.halted states.(i)) then
+            decr active;
           check_budget_bound ();
           srec ~round:r ~node:i Baobs.Series.Corruption 1;
           tracer (Trace.Corrupted { round = r; node = i })
@@ -214,32 +293,24 @@ let run_env ?(tracer = fun (_ : Trace.event) -> ()) ?series
           require_cap Capability.After_fact_removal;
           if not (Corruption.is_corrupt tracker victim) then
             illegal "cannot remove messages of an honest node (corrupt it first)";
-          let found = ref false and seen = ref 0 in
-          List.iter
-            (fun w ->
-              if w.w_src = victim && w.honest_origin then begin
-                if !seen = index && not !found then begin
-                  if w.erased then illegal "intent already erased";
-                  w.erased <- true;
-                  Metrics.record_removal metrics;
-                  srec ~round:r ~node:victim Baobs.Series.Removal 1;
-                  tracer
-                    (Trace.Removed
-                       { round = r;
-                         victim;
-                         multicast = (w.w_dst = All);
-                         recipients =
-                           (match w.w_dst with
-                           | All -> n
-                           | Only targets -> List.length targets);
-                         bits = proto.msg_bits env w.w_payload });
-                  found := true
-                end;
-                incr seen
-              end)
-            !wires;
-          if not !found then
-            illegal "no intent %d for node %d in round %d" index victim r
+          let positions = victim_positions victim in
+          if index < 0 || index >= Array.length positions then
+            illegal "no intent %d for node %d in round %d" index victim r;
+          let w = wires.wb_arr.(positions.(index)) in
+          if w.erased then illegal "intent already erased";
+          w.erased <- true;
+          Metrics.record_removal metrics;
+          srec ~round:r ~node:victim Baobs.Series.Removal 1;
+          tracer
+            (Trace.Removed
+               { round = r;
+                 victim;
+                 multicast = (w.w_dst = All);
+                 recipients =
+                   (match w.w_dst with
+                   | All -> n
+                   | Only targets -> List.length targets);
+                 bits = w.w_bits })
       | Inject { src; dst; payload } ->
           if src < 0 || src >= n then illegal "inject src out of range: %d" src;
           if not (Corruption.is_corrupt tracker src) then
@@ -256,8 +327,8 @@ let run_env ?(tracer = fun (_ : Trace.event) -> ()) ?series
                  recipients =
                    (match dst with All -> n | Only targets -> List.length targets) });
           injections :=
-            { w_src = src; w_dst = dst; w_payload = payload; erased = false;
-              honest_origin = false }
+            { w_src = src; w_dst = dst; w_payload = payload; w_bits = bits;
+              erased = false; honest_origin = false }
             :: !injections
     in
     List.iter apply (adversary.intervene view);
@@ -267,57 +338,82 @@ let run_env ?(tracer = fun (_ : Trace.event) -> ()) ?series
        the message, so it counts toward honest communication — erasure
        only affects delivery. *)
     let t_deliver = Baobs.Probe.start () in
-    let all_wires = List.rev_append !injections (List.rev !wires) in
-    List.iter
-      (fun w ->
-        if w.honest_origin then begin
-          let bits = proto.msg_bits env w.w_payload in
-          (match w.w_dst with
-          | All ->
-              Metrics.record_honest_multicast metrics ~bits;
-              srec ~round:r ~node:w.w_src Baobs.Series.Multicast 1;
-              srec ~round:r ~node:w.w_src Baobs.Series.Multicast_bits bits
-          | Only targets ->
-              let recipients = List.length targets in
-              Metrics.record_honest_unicast metrics ~recipients ~bits;
-              srec ~round:r ~node:w.w_src Baobs.Series.Unicast recipients;
-              srec ~round:r ~node:w.w_src Baobs.Series.Unicast_bits
-                (recipients * bits));
-          if not w.erased then
-            tracer
-              (Trace.Sent
-                 { round = r;
-                   node = w.w_src;
-                   multicast = (w.w_dst = All);
-                   recipients =
-                     (match w.w_dst with
-                     | All -> n
-                     | Only targets -> List.length targets);
-                   bits })
-        end)
-      all_wires;
-    let next = Array.make n [] in
-    List.iter
-      (fun w ->
+    (* Accounting order is unchanged: the old all-wires list put injections
+       (which contribute nothing here) first and honest wires in
+       descending order after them, so walking the buffer backwards visits
+       the honest wires exactly as before. *)
+    for p = wires.wb_len - 1 downto 0 do
+      let w = Array.unsafe_get wires.wb_arr p in
+      if w.honest_origin then begin
+        let bits = w.w_bits in
+        (match w.w_dst with
+        | All ->
+            Metrics.record_honest_multicast metrics ~bits;
+            srec ~round:r ~node:w.w_src Baobs.Series.Multicast 1;
+            srec ~round:r ~node:w.w_src Baobs.Series.Multicast_bits bits
+        | Only targets ->
+            let recipients = List.length targets in
+            Metrics.record_honest_unicast metrics ~recipients ~bits;
+            srec ~round:r ~node:w.w_src Baobs.Series.Unicast recipients;
+            srec ~round:r ~node:w.w_src Baobs.Series.Unicast_bits
+              (recipients * bits));
         if not w.erased then
-          match w.w_dst with
-          | All ->
-              for j = 0 to n - 1 do
-                next.(j) <- (w.w_src, w.w_payload) :: next.(j)
-              done
-          | Only targets ->
-              List.iter
-                (fun j ->
-                  if j >= 0 && j < n then
-                    next.(j) <- (w.w_src, w.w_payload) :: next.(j))
-                targets)
-      all_wires;
+          tracer
+            (Trace.Sent
+               { round = r;
+                 node = w.w_src;
+                 multicast = (w.w_dst = All);
+                 recipients =
+                   (match w.w_dst with
+                   | All -> n
+                   | Only targets -> List.length targets);
+                 bits })
+      end
+    done;
+    (* Delivery with structural sharing. Inbox order is [injections in
+       application order] then [honest wires in descending order]; we
+       build it back-to-front (honest wires ascending, then the reversed
+       injection list), consing each multicast ONCE onto a single shared
+       tail instead of once per recipient. A node that also receives
+       unicasts keeps a private prefix in [acc]; [mark] remembers how much
+       of the shared list that prefix has already absorbed, and [splice]
+       grafts the multicasts that arrived in between. Total allocation is
+       O(wires + unicast deliveries), not O(n × wires). *)
+    let shared = ref [] and shared_len = ref 0 in
+    Array.fill acc 0 n [];
+    Array.fill mark 0 n (-1);
+    let deliver w =
+      if not w.erased then
+        match w.w_dst with
+        | All ->
+            shared := (w.w_src, w.w_payload) :: !shared;
+            incr shared_len
+        | Only targets ->
+            List.iter
+              (fun j ->
+                if j >= 0 && j < n then begin
+                  let m = mark.(j) in
+                  let tail =
+                    if m < 0 then !shared
+                    else splice !shared (!shared_len - m) acc.(j)
+                  in
+                  acc.(j) <- (w.w_src, w.w_payload) :: tail;
+                  mark.(j) <- !shared_len
+                end)
+              targets
+    in
+    for p = 0 to wires.wb_len - 1 do
+      deliver (Array.unsafe_get wires.wb_arr p)
+    done;
+    List.iter deliver !injections;
     for j = 0 to n - 1 do
-      inboxes.(j) <- List.rev next.(j)
+      inboxes.(j) <-
+        (let m = mark.(j) in
+         if m < 0 then !shared else splice !shared (!shared_len - m) acc.(j))
     done;
     Baobs.Probe.stop p_delivery t_deliver;
     incr round;
-    if not (honest_active ()) then running := false
+    if !active = 0 then running := false
   done;
   (match series with
   | Some s -> (

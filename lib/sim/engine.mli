@@ -61,10 +61,17 @@ type ('env, 'state, 'msg) protocol = {
   halted : 'state -> bool;
       (** [true] once the node has terminated (no further [step] calls). *)
   msg_bits : 'env -> 'msg -> int;
-      (** Wire size of a message, for the metrics. *)
+      (** Wire size of a message, for the metrics. Must be pure: the
+          engine evaluates it once per wire (at creation) and caches the
+          result for accounting, removal traces, and delivery. *)
 }
 
-(** What the adversary is shown when it intervenes in a round. *)
+(** What the adversary is shown when it intervenes in a round.
+
+    Both arrays are {e shared} with the engine for the duration of the
+    [intervene] call rather than deep-copied per round: adversaries must
+    treat the view as read-only (enforced by review discipline and the
+    capability lint, as with inbox access below). *)
 type ('env, 'msg) view = {
   round : int;
   n : int;

@@ -599,6 +599,37 @@ let qcheck_tests =
         Sha256.feed_string ctx (String.sub s 0 cut);
         Sha256.feed_string ctx (String.sub s cut (String.length s - cut));
         String.equal (Sha256.finalize ctx) (Sha256.digest_string s));
+    Test.make ~name:"multi-chunk feed_bytes = one-shot on random splits" ~count:100
+      (pair (string_of_size Gen.(0 -- 600)) (list_of_size Gen.(0 -- 8) small_nat))
+      (fun (s, cuts) ->
+        (* Interpret [cuts] as successive chunk lengths; whatever remains
+           after the last cut is fed in one final call. Exercises every
+           path through the buffered/direct block dispatch in feed_bytes. *)
+        let b = Bytes.of_string s in
+        let ctx = Sha256.init () in
+        let pos = ref 0 in
+        List.iter
+          (fun c ->
+            let len = min c (String.length s - !pos) in
+            Sha256.feed_bytes ctx b ~pos:!pos ~len;
+            pos := !pos + len)
+          cuts;
+        Sha256.feed_bytes ctx b ~pos:!pos ~len:(String.length s - !pos);
+        String.equal (Sha256.finalize ctx) (Sha256.digest_string s));
+    Test.make ~name:"hmac precomputed key = one-shot" ~count:150
+      (pair (string_of_size Gen.(0 -- 100)) (string_of_size Gen.(0 -- 300)))
+      (fun (key, m) ->
+        String.equal (Hmac.mac ~key m) (Hmac.mac_with (Hmac.precompute ~key) m));
+    Test.make ~name:"hmac_concat precomputed key = one-shot" ~count:100
+      (pair (string_of_size Gen.(0 -- 100))
+         (list_of_size Gen.(0 -- 5) (string_of_size Gen.(0 -- 60))))
+      (fun (key, parts) ->
+        String.equal (Hmac.mac_concat ~key parts)
+          (Hmac.mac_concat_with (Hmac.precompute ~key) parts));
+    Test.make ~name:"prf cached key = direct eval" ~count:150
+      (pair (string_of_size Gen.(1 -- 64)) (string_of_size Gen.(0 -- 200)))
+      (fun (key, m) ->
+        String.equal (Prf.eval key m) (Prf.eval_cached (Prf.cache key) m));
     Test.make ~name:"hmac key separation" ~count:100
       (triple (string_of_size Gen.(1 -- 64)) (string_of_size Gen.(1 -- 64)) (string_of_size Gen.(0 -- 100)))
       (fun (k1, k2, m) ->
