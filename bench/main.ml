@@ -42,8 +42,9 @@ let jobs =
    exit nonzero on a regression past --threshold (default 20%). *)
 let against = flag_value "--against"
 
-(* --out FILE: where to write the report (default BENCH_1.json, the
-   recorded baseline; successor baselines go to BENCH_2.json etc.). *)
+(* --out FILE: where to write the report (default BENCH_1.json;
+   successor baselines go to BENCH_2.json, BENCH_3.json, etc. — the
+   committed baseline CI gates against is currently BENCH_3.json). *)
 let bench_json_path =
   match flag_value "--out" with Some path -> path | None -> "BENCH_1.json"
 
@@ -308,6 +309,48 @@ let engine_counter_summaries () =
   [ summarize "e1.eraser-vs-sub-hm-n401" (eraser_n401 ());
     summarize "e2.sub-hm-passive-n401" (passive_n401 ()) ]
 
+(* One recorded e2.sub-hm-n801 run: the per-round GC/memory series the
+   ROADMAP's million-node item gates on. Peak heap and allocated
+   words/round are only meaningful against the pinned workload above,
+   so they live in the same report. *)
+let resource_summary () =
+  let open Baobs.Json in
+  Baobs.Resource.enable ();
+  let recorder = Baobs.Resource.create () in
+  let params = Params.make ~lambda:40 ~max_epochs:60 () in
+  let proto = Sub_hm.protocol ~params ~world:`Hybrid in
+  let inputs = Scenario.split_inputs ~n:801 in
+  let result =
+    Engine.run proto ~resource:recorder ~adversary:(passive ()) ~n:801
+      ~budget:0 ~inputs ~max_rounds:250 ~seed:2L
+  in
+  Baobs.Resource.disable ();
+  let rows = Baobs.Resource.rows recorder in
+  let peak_heap =
+    List.fold_left
+      (fun acc r -> max acc r.Baobs.Resource.row_top_heap_words)
+      0 rows
+  in
+  let minor_gcs, major_gcs =
+    List.fold_left
+      (fun (mi, ma) r ->
+        (mi + r.Baobs.Resource.minor_gcs, ma + r.Baobs.Resource.major_gcs))
+      (0, 0) rows
+  in
+  let words_per_round =
+    match Baobs.Resource.allocation_summary recorder with
+    | Some s -> Float s.Bastats.Summary.mean
+    | None -> Null
+  in
+  Obj
+    [ ("scenario", String "e2.sub-hm-n801");
+      ("rounds_used", Int result.Engine.rounds_used);
+      ("rows", Int (List.length rows));
+      ("peak_heap_words", Int peak_heap);
+      ("allocated_words_per_round", words_per_round);
+      ("minor_gcs", Int minor_gcs);
+      ("major_gcs", Int major_gcs) ]
+
 let write_bench_json ~quota_s named =
   let open Baobs.Json in
   let results =
@@ -325,7 +368,8 @@ let write_bench_json ~quota_s named =
         ("quota_s", Float quota_s);
         ("parallel", parallel_summary);
         ("results", List results);
-        ("engine_counters", List (engine_counter_summaries ())) ]
+        ("engine_counters", List (engine_counter_summaries ()));
+        ("resource", resource_summary ()) ]
   in
   let oc = open_out bench_json_path in
   output_string oc (to_string json);

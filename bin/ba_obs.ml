@@ -3,9 +3,11 @@
      ba_obs report trace.jsonl              per-round/per-node analytics
      ba_obs profile profile.json            probe snapshot -> Chrome trace
      ba_obs compare BENCH_A.json BENCH_B.json   bench-regression gate
+     ba_obs mem resource.json               per-round memory-flatness report
 
    Exit codes: 0 clean; 1 usage, I/O, parse errors, or (compare) a
-   regression past the threshold; 2 a failed [report --check]. *)
+   regression past the threshold; 2 a failed [report --check] or
+   [mem --check]. *)
 
 open Cmdliner
 
@@ -42,9 +44,11 @@ type format = Text | Json | Csv
 
 let formats = [ ("text", Text); ("json", Json); ("csv", Csv) ]
 
-let run_report file format top chk output =
+let run_report file format top chk rounds output =
   guarded (fun () ->
-      let report = Baobs_report.Report.of_jsonl_string (read_file file) in
+      let report =
+        Baobs_report.Report.of_jsonl_string ?rounds (read_file file)
+      in
       let rendered =
         match format with
         | Text -> Baobs_report.Report.to_text ~k:top report
@@ -96,6 +100,34 @@ let output_arg =
     & opt (some string) None
     & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write to $(docv) instead of stdout.")
 
+(* "A:B" — an inclusive round window (A = -1 covers setup events). *)
+let rounds_conv =
+  let parse s =
+    match String.index_opt s ':' with
+    | None -> Error (`Msg "expected A:B (inclusive round window)")
+    | Some i -> (
+        let a = String.sub s 0 i
+        and b = String.sub s (i + 1) (String.length s - i - 1) in
+        match (int_of_string_opt a, int_of_string_opt b) with
+        | Some lo, Some hi when lo <= hi -> Ok (lo, hi)
+        | Some lo, Some hi ->
+            Error
+              (`Msg (Printf.sprintf "empty round window %d:%d" lo hi))
+        | _ -> Error (`Msg "expected A:B with integer bounds"))
+  in
+  let print fmt (lo, hi) = Format.fprintf fmt "%d:%d" lo hi in
+  Arg.conv (parse, print)
+
+let rounds_arg =
+  Arg.(
+    value
+    & opt (some rounds_conv) None
+    & info [ "rounds" ] ~docv:"A:B"
+        ~doc:
+          "Restrict the report to rounds $(docv) inclusive (applied before \
+           the timeline/matrix/histograms; --check sums are recomputed over \
+           the window). Round -1 is setup.")
+
 let report_cmd =
   let doc =
     "Analyze a JSONL execution trace: per-round timeline, per-node \
@@ -104,7 +136,7 @@ let report_cmd =
   Cmd.v
     (Cmd.info "report" ~doc)
     Term.(const run_report $ file_arg $ format_arg $ top_arg $ check_arg
-          $ output_arg)
+          $ rounds_arg $ output_arg)
 
 (* ---------- profile ----------------------------------------------------- *)
 
@@ -127,6 +159,89 @@ let profile_cmd =
      Perfetto (ui.perfetto.dev) or chrome://tracing"
   in
   Cmd.v (Cmd.info "profile" ~doc) Term.(const run_profile $ profile_arg $ output_arg)
+
+(* ---------- mem --------------------------------------------------------- *)
+
+let run_mem file format warmup cooldown tolerance chk output =
+  guarded (fun () ->
+      let report = Baobs.Resource.report_of_json (read_json file) in
+      let flat =
+        Baobs.Resource.flatness ?warmup ?cooldown ~tolerance report
+      in
+      let rendered =
+        match format with
+        | Text -> Baobs.Resource.report_to_text report flat ^ "\n"
+        | Json ->
+            Baobs.Json.to_string (Baobs.Resource.report_to_json report flat)
+            ^ "\n"
+        | Csv -> Baobs.Resource.report_to_csv report
+      in
+      write_out output rendered;
+      if not chk then 0
+      else if flat.Baobs.Resource.flat then begin
+        prerr_endline "ba_obs: mem check ok";
+        0
+      end
+      else begin
+        Printf.eprintf
+          "ba_obs: mem check: allocated words/round drifted %+.4f over the \
+           post-warmup window (tolerance %.2f) — per-round memory is not flat\n"
+          flat.Baobs.Resource.drift flat.Baobs.Resource.tolerance;
+        2
+      end)
+
+let mem_file_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"RESOURCE"
+        ~doc:"ba-resource/v1 report (from ba_run --resource-json).")
+
+let warmup_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "warmup" ] ~docv:"N"
+        ~doc:
+          "Exclude the first $(docv) executed rounds from the flatness fit \
+           (default: a fifth of the rounds, at least 1).")
+
+let cooldown_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "cooldown" ] ~docv:"N"
+        ~doc:
+          "Exclude the last $(docv) executed rounds from the flatness fit — \
+           the decide/halt phase is a one-off allocation spike, not a leak \
+           (default: a fifth of the rounds, at least 1).")
+
+let tolerance_arg =
+  Arg.(
+    value & opt float 0.25
+    & info [ "tolerance" ] ~docv:"FRAC"
+        ~doc:
+          "Maximum tolerated relative drift of allocated-words-per-round \
+           across the post-warmup window (default 0.25).")
+
+let mem_check_arg =
+  Arg.(
+    value & flag
+    & info [ "check" ]
+        ~doc:
+          "Assert the allocated-words-per-round slope is ≈ 0 after warmup \
+           and exit 2 on violation — the CI memory-flatness gate.")
+
+let mem_cmd =
+  let doc =
+    "Render a per-round memory/GC flatness report from a ba_run \
+     --resource-json document, optionally gating on allocated-words-per-round \
+     flatness"
+  in
+  Cmd.v
+    (Cmd.info "mem" ~doc)
+    Term.(const run_mem $ mem_file_arg $ format_arg $ warmup_arg
+          $ cooldown_arg $ tolerance_arg $ mem_check_arg $ output_arg)
 
 (* ---------- compare ----------------------------------------------------- *)
 
@@ -201,6 +316,7 @@ let compare_cmd =
 
 let cmd =
   let doc = "Analyze traces, profiles, and bench reports from the BA harness" in
-  Cmd.group (Cmd.info "ba_obs" ~doc) [ report_cmd; profile_cmd; compare_cmd ]
+  Cmd.group (Cmd.info "ba_obs" ~doc)
+    [ report_cmd; profile_cmd; compare_cmd; mem_cmd ]
 
 let () = exit (Cmd.eval' cmd)

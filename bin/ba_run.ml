@@ -104,8 +104,8 @@ let print_rates ~label (rates : Baexperiments.Common.rates) =
 (* Each protocol has its own message type, so the dispatch instantiates
    engine, adversary, and printer together. *)
 let dispatch proto adv ~n ~budget ~lambda ~epochs ~inputs_choice ~seed ~reps
-    ~jobs ~trace ~trace_jsonl ~metrics_json ~profile_json ~timings ~check_trace
-    ~lenient_caps =
+    ~jobs ~trace ~trace_jsonl ~metrics_json ~profile_json ~resource_json
+    ~timings ~check_trace ~lenient_caps =
   let collector =
     if trace || check_trace then Some (Trace.collector ()) else None
   in
@@ -122,6 +122,15 @@ let dispatch proto adv ~n ~budget ~lambda ~epochs ~inputs_choice ~seed ~reps
   in
   let series =
     if metrics_json <> None then Some (Baobs.Series.create ~n) else None
+  in
+  let resource =
+    match resource_json with
+    | None -> None
+    | Some _ ->
+        (* Sampling reads GC counters only, so flipping this on cannot
+           change the execution or its trace (asserted in CI). *)
+        Baobs.Resource.enable ();
+        Some (Baobs.Resource.create ())
   in
   if timings then Baobs.Probe.enable ();
   (match profile_json with
@@ -151,6 +160,20 @@ let dispatch proto adv ~n ~budget ~lambda ~epochs ~inputs_choice ~seed ~reps
      JSONL sink, export metrics + series, print timings. *)
   let finish ~label (result : Engine.result) =
     (match jsonl with Some (oc, _) -> close_out oc | None -> ());
+    (match (resource_json, resource) with
+    | Some path, Some r ->
+        let meta =
+          [ ("protocol", Baobs.Json.String label);
+            ("n", Baobs.Json.Int n);
+            ("budget", Baobs.Json.Int budget);
+            ("seed", Baobs.Json.Int seed);
+            ("rounds_used", Baobs.Json.Int result.Engine.rounds_used) ]
+        in
+        let oc = open_out path in
+        output_string oc (Baobs.Json.to_string (Baobs.Resource.to_json ~meta r));
+        output_char oc '\n';
+        close_out oc
+    | _ -> ());
     (match (metrics_json, series) with
     | Some path, Some s ->
         let json =
@@ -217,10 +240,11 @@ let dispatch proto adv ~n ~budget ~lambda ~epochs ~inputs_choice ~seed ~reps
           end
   in
   let run_sweep proto_rec label make_adv =
-    if trace || check_trace || trace_jsonl <> None then begin
+    if trace || check_trace || trace_jsonl <> None || resource_json <> None
+    then begin
       prerr_endline
-        "ba_run: --trace/--trace-jsonl/--check-trace observe a single \
-         execution; drop them or use --reps 1";
+        "ba_run: --trace/--trace-jsonl/--check-trace/--resource-json observe \
+         a single execution; drop them or use --reps 1";
       1
     end
     else begin
@@ -268,8 +292,8 @@ let dispatch proto adv ~n ~budget ~lambda ~epochs ~inputs_choice ~seed ~reps
     else begin
       let adversary = make_adv () in
       let result =
-        Engine.run ~tracer ?series ~on_caps_mismatch proto_rec ~adversary ~n
-          ~budget ~inputs ~max_rounds ~seed:seed64
+        Engine.run ~tracer ?series ?resource ~on_caps_mismatch proto_rec
+          ~adversary ~n ~budget ~inputs ~max_rounds ~seed:seed64
       in
       print_trace ();
       finish ~label result;
@@ -447,6 +471,16 @@ let profile_json_arg =
            snapshot-plus-spans profile to $(docv) after the run; convert it \
            with ba_obs profile for Perfetto.")
 
+let resource_json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "resource-json" ] ~docv:"FILE"
+        ~doc:
+          "Record a per-round GC/memory series (allocated words, promoted \
+           words, collections, heap size) and write the ba-resource/v1 \
+           report to $(docv) after the run; analyze it with ba_obs mem.")
+
 let timings_arg =
   Arg.(
     value & flag
@@ -474,7 +508,8 @@ let lenient_caps_arg =
            or budget.")
 
 let main proto adv n budget lambda epochs inputs_choice seed reps jobs trace
-    trace_jsonl metrics_json profile_json timings check_trace lenient_caps =
+    trace_jsonl metrics_json profile_json resource_json timings check_trace
+    lenient_caps =
   (* Reject doomed output destinations before the run, not after it:
      --metrics-json and --profile-json only open their file once the
      (possibly long) execution has completed. *)
@@ -489,7 +524,8 @@ let main proto adv n budget lambda epochs inputs_choice seed reps jobs trace
             | Error e -> Some (Printf.sprintf "%s: %s" flag e)))
       [ ("--trace-jsonl", trace_jsonl);
         ("--metrics-json", metrics_json);
-        ("--profile-json", profile_json) ]
+        ("--profile-json", profile_json);
+        ("--resource-json", resource_json) ]
   in
   if path_errors <> [] then begin
     List.iter (fun e -> prerr_endline ("ba_run: " ^ e)) path_errors;
@@ -498,8 +534,8 @@ let main proto adv n budget lambda epochs inputs_choice seed reps jobs trace
   else
     try
       dispatch proto adv ~n ~budget ~lambda ~epochs ~inputs_choice ~seed ~reps
-        ~jobs ~trace ~trace_jsonl ~metrics_json ~profile_json ~timings
-        ~check_trace ~lenient_caps
+        ~jobs ~trace ~trace_jsonl ~metrics_json ~profile_json ~resource_json
+        ~timings ~check_trace ~lenient_caps
     with Sys_error e ->
       (* e.g. a destination that became unwritable mid-run *)
       prerr_endline ("ba_run: " ^ e);
@@ -512,7 +548,7 @@ let cmd =
     Term.(
       const main $ proto_arg $ adv_arg $ n_arg $ budget_arg $ lambda_arg
       $ epochs_arg $ inputs_arg $ seed_arg $ reps_arg $ jobs_arg $ trace_arg
-      $ trace_jsonl_arg $ metrics_json_arg $ profile_json_arg $ timings_arg
-      $ check_trace_arg $ lenient_caps_arg)
+      $ trace_jsonl_arg $ metrics_json_arg $ profile_json_arg
+      $ resource_json_arg $ timings_arg $ check_trace_arg $ lenient_caps_arg)
 
 let () = exit (Cmd.eval' cmd)

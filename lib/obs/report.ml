@@ -45,7 +45,18 @@ let bucket table key =
       Hashtbl.add table key c;
       c
 
-let of_events events =
+let of_events ?rounds events =
+  let events =
+    match rounds with
+    | None -> events
+    | Some (lo, hi) ->
+        if lo > hi then invalid_arg "Report.of_events: empty rounds window";
+        List.filter
+          (fun e ->
+            let r = Trace.round_of e in
+            lo <= r && r <= hi)
+          events
+  in
   let t =
     { events;
       totals = zero_counts ();
@@ -98,15 +109,15 @@ let parse_jsonl text =
          if String.trim line = "" then None
          else Some (Trace.of_json (Baobs.Json.of_string line)))
 
-let of_jsonl_string text = of_events (parse_jsonl text)
+let of_jsonl_string ?rounds text = of_events ?rounds (parse_jsonl text)
 
-let of_jsonl_channel ic =
+let of_jsonl_channel ?rounds ic =
   let rec read acc =
     match input_line ic with
     | line -> read (if String.trim line = "" then acc else line :: acc)
     | exception End_of_file -> List.rev acc
   in
-  of_events
+  of_events ?rounds
     (List.map
        (fun line -> Trace.of_json (Baobs.Json.of_string line))
        (read []))

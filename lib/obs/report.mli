@@ -24,13 +24,19 @@ type counts = {
 
 type t
 
-val of_events : Basim.Trace.event list -> t
+val of_events : ?rounds:int * int -> Basim.Trace.event list -> t
+(** [rounds], when given, is an inclusive [(lo, hi)] window applied
+    before any table is built: events outside it (by
+    [Basim.Trace.round_of]; setup events are round [-1]) are dropped,
+    so the timeline, matrix, histograms — and the sums {!check}
+    verifies — all cover exactly the window.
+    @raise Invalid_argument if [lo > hi]. *)
 
-val of_jsonl_string : string -> t
+val of_jsonl_string : ?rounds:int * int -> string -> t
 (** Parse one [Basim.Trace.of_json] event per nonempty line.
     @raise Baobs.Json.Parse_error on a malformed line. *)
 
-val of_jsonl_channel : in_channel -> t
+val of_jsonl_channel : ?rounds:int * int -> in_channel -> t
 
 val events : t -> Basim.Trace.event list
 

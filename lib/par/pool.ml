@@ -3,9 +3,24 @@
    [idle] while the last in-flight jobs finish. Determinism does not
    live here — jobs complete in arbitrary order — it lives in
    [run_thunks], which gives every job a dedicated result slot and lets
-   [map]/[map_reduce] read the slots in index order. *)
+   [map]/[map_reduce] read the slots in index order.
 
-type job = unit -> unit
+   Each executor slot additionally keeps utilization counters (jobs
+   run, queue-wait, busy time, per-domain minor words) for the
+   resource-telemetry layer. They are updated under [lock] in the same
+   critical section that decrements [pending], so a [stats] snapshot
+   taken after a batch returns sees every job of that batch; the
+   counters observe the jobs without feeding anything back into them,
+   so they cannot perturb the deterministic-merge contract. *)
+
+type job = { enqueued_ns : float; body : unit -> unit }
+
+type slot_stats = {
+  mutable s_jobs : int;
+  mutable s_busy_ns : float;
+  mutable s_wait_ns : float;
+  mutable s_minor_words : float;
+}
 
 type t = {
   lock : Mutex.t;
@@ -15,6 +30,7 @@ type t = {
   mutable pending : int;   (* queued + currently running jobs *)
   mutable live : bool;
   mutable workers : unit Domain.t array;
+  slots : slot_stats array;  (* slot 0 = caller, 1.. = workers *)
   jobs : int;
 }
 
@@ -35,24 +51,45 @@ let default_jobs () =
   | Some j -> clamp_jobs j
   | None -> clamp_jobs (Domain.recommended_domain_count ())
 
+let now_ns () = Unix.gettimeofday () *. 1e9
+
+(* Run one job body unlocked and return what the stats need: wall time
+   inside the body and the minor words its execution allocated on this
+   domain. Bodies never raise ([run_thunks] wraps them). *)
+let execute body =
+  let w0 = Gc.minor_words () in
+  let t0 = now_ns () in
+  body ();
+  let busy = Float.max 0.0 (now_ns () -. t0) in
+  let words = Float.max 0.0 (Gc.minor_words () -. w0) in
+  (busy, words)
+
+let charge slot ~wait ~busy ~words =
+  slot.s_jobs <- slot.s_jobs + 1;
+  slot.s_wait_ns <- slot.s_wait_ns +. wait;
+  slot.s_busy_ns <- slot.s_busy_ns +. busy;
+  slot.s_minor_words <- slot.s_minor_words +. words
+
 (* Run queued jobs until the queue is empty; expects [t.lock] held on
-   entry and leaves it held on exit. Jobs never raise ([run_thunks]
-   wraps them), so no Fun.protect is needed around the unlocked call. *)
-let drain_queue t =
+   entry and leaves it held on exit. [slot] is the executor's stats
+   slot (0 for the driver, worker index + 1 otherwise). *)
+let drain_queue t slot =
   while not (Queue.is_empty t.queue) do
     let job = Queue.pop t.queue in
+    let wait = Float.max 0.0 (now_ns () -. job.enqueued_ns) in
     Mutex.unlock t.lock;
-    job ();
+    let busy, words = execute job.body in
     Mutex.lock t.lock;
+    charge t.slots.(slot) ~wait ~busy ~words;
     t.pending <- t.pending - 1;
     if t.pending = 0 then Condition.broadcast t.idle
   done
 
-let worker t =
+let worker t slot =
   Mutex.lock t.lock;
   let running = ref true in
   while !running do
-    drain_queue t;
+    drain_queue t slot;
     if t.live then Condition.wait t.work t.lock else running := false
   done;
   Mutex.unlock t.lock
@@ -67,13 +104,42 @@ let create ~jobs =
       pending = 0;
       live = true;
       workers = [||];
+      slots =
+        Array.init jobs (fun _ ->
+            { s_jobs = 0; s_busy_ns = 0.0; s_wait_ns = 0.0;
+              s_minor_words = 0.0 });
       jobs }
   in
   if jobs > 1 then
-    t.workers <- Array.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker t));
+    t.workers <-
+      Array.init (jobs - 1) (fun i -> Domain.spawn (fun () -> worker t (i + 1)));
   t
 
 let size t = t.jobs
+
+type worker_stats = {
+  worker : int;
+  jobs_run : int;
+  busy_ns : float;
+  queue_wait_ns : float;
+  minor_words : float;
+}
+
+let stats t =
+  Mutex.lock t.lock;
+  let snapshot =
+    Array.to_list
+      (Array.mapi
+         (fun i s ->
+           { worker = i;
+             jobs_run = s.s_jobs;
+             busy_ns = s.s_busy_ns;
+             queue_wait_ns = s.s_wait_ns;
+             minor_words = s.s_minor_words })
+         t.slots)
+  in
+  Mutex.unlock t.lock;
+  snapshot
 
 let shutdown t =
   Mutex.lock t.lock;
@@ -106,13 +172,23 @@ let run_thunks pool thunks =
          with e -> Error (e, Printexc.get_raw_backtrace ()))
   in
   if Array.length pool.workers = 0 then
-    Array.iteri (fun i thunk -> cell i thunk ()) arr
+    Array.iteri
+      (fun i thunk ->
+        (* Never queued: zero wait, all work charged to the caller. *)
+        let busy, words = execute (cell i thunk) in
+        Mutex.lock pool.lock;
+        charge pool.slots.(0) ~wait:0.0 ~busy ~words;
+        Mutex.unlock pool.lock)
+      arr
   else begin
     Mutex.lock pool.lock;
-    Array.iteri (fun i thunk -> Queue.push (cell i thunk) pool.queue) arr;
+    let enqueued_ns = now_ns () in
+    Array.iteri
+      (fun i thunk -> Queue.push { enqueued_ns; body = cell i thunk } pool.queue)
+      arr;
     pool.pending <- pool.pending + count;
     Condition.broadcast pool.work;
-    drain_queue pool;
+    drain_queue pool 0;
     while pool.pending > 0 do
       Condition.wait pool.idle pool.lock
     done;

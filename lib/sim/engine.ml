@@ -108,11 +108,24 @@ let p_step = Baobs.Probe.register "engine.honest_step"
 let p_adversary = Baobs.Probe.register "engine.adversary"
 let p_delivery = Baobs.Probe.register "engine.delivery"
 
-let run_env ?(tracer = fun (_ : Trace.event) -> ()) ?series
+let run_env ?(tracer = fun (_ : Trace.event) -> ()) ?series ?resource
     ?(on_caps_mismatch = `Refuse) proto ~adversary ~n ~budget ~inputs
     ~max_rounds ~seed =
   if Array.length inputs <> n then
     invalid_arg "Engine.run: inputs length must equal n";
+  (* Resource rows bracket whole phases and read only GC counters, so
+     they can never perturb the execution or its trace. *)
+  let res_begin () =
+    match resource with
+    | Some r -> Baobs.Resource.round_begin r
+    | None -> ()
+  in
+  let res_end ~round =
+    match resource with
+    | Some r -> Baobs.Resource.round_end r ~round
+    | None -> ()
+  in
+  res_begin ();
   (* Declaration-vs-model consistency, checked before a single round
      runs: an adversary whose declared capability set exceeds what its
      model grants is refused outright (or warned about, behind the
@@ -167,6 +180,7 @@ let run_env ?(tracer = fun (_ : Trace.event) -> ()) ?series
         let rng = Bacrypto.Rng.split_named root (Printf.sprintf "node-%d" me) in
         proto.init env ~rng ~n ~me ~input:inputs.(me))
   in
+  res_end ~round:(-1);
   let metrics = Metrics.create ~n in
   let halt_rounds = Array.make n None in
   let inboxes = Array.make n [] in
@@ -192,6 +206,7 @@ let run_env ?(tracer = fun (_ : Trace.event) -> ()) ?series
   let mark = Array.make n (-1) in
   while !running && !round < max_rounds do
     let r = !round in
+    res_begin ();
     Metrics.note_round metrics r;
     tracer (Trace.Round_started { round = r });
     (* Phase 1: honest nodes compute intents. *)
@@ -412,6 +427,7 @@ let run_env ?(tracer = fun (_ : Trace.event) -> ()) ?series
          if m < 0 then !shared else splice !shared (!shared_len - m) acc.(j))
     done;
     Baobs.Probe.stop p_delivery t_deliver;
+    res_end ~round:r;
     incr round;
     if !active = 0 then running := false
   done;
@@ -443,8 +459,8 @@ let run_env ?(tracer = fun (_ : Trace.event) -> ()) ?series
       all_honest_decided;
       halt_rounds } )
 
-let run ?tracer ?series ?on_caps_mismatch proto ~adversary ~n ~budget ~inputs
-    ~max_rounds ~seed =
+let run ?tracer ?series ?resource ?on_caps_mismatch proto ~adversary ~n ~budget
+    ~inputs ~max_rounds ~seed =
   snd
-    (run_env ?tracer ?series ?on_caps_mismatch proto ~adversary ~n ~budget
-       ~inputs ~max_rounds ~seed)
+    (run_env ?tracer ?series ?resource ?on_caps_mismatch proto ~adversary ~n
+       ~budget ~inputs ~max_rounds ~seed)

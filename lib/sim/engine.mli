@@ -141,6 +141,7 @@ type result = {
 val run :
   ?tracer:(Trace.event -> unit) ->
   ?series:Baobs.Series.t ->
+  ?resource:Baobs.Resource.t ->
   ?on_caps_mismatch:[ `Refuse | `Warn ] ->
   ('env, 'state, 'msg) protocol ->
   adversary:('env, 'msg) adversary ->
@@ -158,6 +159,13 @@ val run :
     additionally timed under the [engine.*] {!Baobs.Probe}s when the
     probe registry is enabled.
 
+    [resource], when given (and {!Baobs.Resource.enabled}), receives
+    one GC/memory row per round — allocated words, promotions,
+    collection counts, heap size — with setup (env, static corruptions,
+    node init) recorded as round [-1], matching the trace convention.
+    Sampling only reads GC counters, so enabling it cannot perturb the
+    execution: the trace is byte-identical with recording on or off.
+
     [on_caps_mismatch] (default [`Refuse]) governs what happens when the
     adversary's declared {!Capability.decl} is inconsistent with its
     model ({!Capability.validate}): [`Refuse] raises {!Illegal_action}
@@ -170,6 +178,7 @@ val run :
 val run_env :
   ?tracer:(Trace.event -> unit) ->
   ?series:Baobs.Series.t ->
+  ?resource:Baobs.Resource.t ->
   ?on_caps_mismatch:[ `Refuse | `Warn ] ->
   ('env, 'state, 'msg) protocol ->
   adversary:('env, 'msg) adversary ->

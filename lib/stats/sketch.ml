@@ -1,0 +1,176 @@
+(* Streaming accumulators: P² quantile markers (Jain & Chlamtac 1985)
+   and Welford mean/variance. Both are O(1) memory per tracked
+   statistic, which is what lets resource telemetry aggregate per-round
+   and per-node observations at million-node scale. *)
+
+module Quantile = struct
+  (* Five markers: minimum, the q/2, q, (1+q)/2 quantile estimates, and
+     the maximum. [heights] are the marker values, [pos] their current
+     (1-based) positions in the observation sequence, [desired] where
+     each position ideally sits, advanced by [incr] per observation.
+     The first five observations are buffered in [first] and the
+     markers initialized from their sorted order. *)
+  type t = {
+    q : float;
+    heights : float array;   (* 5 *)
+    pos : float array;       (* 5, strictly increasing *)
+    desired : float array;   (* 5 *)
+    incr : float array;      (* 5 *)
+    first : float array;     (* buffer for the first 5 observations *)
+    mutable count : int;
+  }
+
+  let create ~q =
+    if not (q > 0.0 && q < 1.0) then
+      invalid_arg "Sketch.Quantile.create: q must be in (0, 1)";
+    { q;
+      heights = Array.make 5 0.0;
+      pos = [| 1.0; 2.0; 3.0; 4.0; 5.0 |];
+      desired = [| 1.0; 1.0 +. (2.0 *. q); 1.0 +. (4.0 *. q);
+                   3.0 +. (2.0 *. q); 5.0 |];
+      incr = [| 0.0; q /. 2.0; q; (1.0 +. q) /. 2.0; 1.0 |];
+      first = Array.make 5 0.0;
+      count = 0 }
+
+  let count t = t.count
+
+  (* Piecewise-parabolic (P²) candidate for marker [i] moved by [d]
+     (±1). Positions are strictly increasing, so every denominator is
+     at least 1. *)
+  let parabolic t i d =
+    let h = t.heights and n = t.pos in
+    h.(i)
+    +. d
+       /. (n.(i + 1) -. n.(i - 1))
+       *. (((n.(i) -. n.(i - 1) +. d) *. (h.(i + 1) -. h.(i))
+            /. (n.(i + 1) -. n.(i)))
+          +. ((n.(i + 1) -. n.(i) -. d) *. (h.(i) -. h.(i - 1))
+             /. (n.(i) -. n.(i - 1))))
+
+  let linear t i d =
+    let h = t.heights and n = t.pos in
+    let j = i + int_of_float d in
+    h.(i) +. (d *. (h.(j) -. h.(i)) /. (n.(j) -. n.(i)))
+
+  let add t x =
+    t.count <- t.count + 1;
+    if t.count <= 5 then begin
+      t.first.(t.count - 1) <- x;
+      if t.count = 5 then begin
+        Array.blit t.first 0 t.heights 0 5;
+        Array.sort Float.compare t.heights
+      end
+    end
+    else begin
+      let h = t.heights in
+      (* Cell k: h.(k) <= x < h.(k+1), extending the extremes first. *)
+      let k =
+        if x < h.(0) then begin
+          h.(0) <- x;
+          0
+        end
+        else if x >= h.(4) then begin
+          h.(4) <- x;
+          3
+        end
+        else begin
+          let k = ref 0 in
+          while x >= h.(!k + 1) do incr k done;
+          !k
+        end
+      in
+      for i = k + 1 to 4 do
+        t.pos.(i) <- t.pos.(i) +. 1.0
+      done;
+      for i = 0 to 4 do
+        t.desired.(i) <- t.desired.(i) +. t.incr.(i)
+      done;
+      (* Nudge the three interior markers toward their desired
+         positions, keeping positions strictly increasing. *)
+      for i = 1 to 3 do
+        let d = t.desired.(i) -. t.pos.(i) in
+        if
+          (d >= 1.0 && t.pos.(i + 1) -. t.pos.(i) > 1.0)
+          || (d <= -1.0 && t.pos.(i - 1) -. t.pos.(i) < -1.0)
+        then begin
+          let d = if d >= 1.0 then 1.0 else -1.0 in
+          let candidate = parabolic t i d in
+          t.heights.(i) <-
+            (if h.(i - 1) < candidate && candidate < h.(i + 1) then candidate
+             else linear t i d);
+          t.pos.(i) <- t.pos.(i) +. d
+        end
+      done
+    end
+
+  let estimate t =
+    if t.count = 0 then invalid_arg "Sketch.Quantile.estimate: empty";
+    if t.count <= 5 then begin
+      let sorted = Array.sub t.first 0 t.count in
+      Array.sort Float.compare sorted;
+      Summary.quantile sorted t.q
+    end
+    else t.heights.(2)
+end
+
+type t = {
+  mutable count : int;
+  mutable mean : float;
+  mutable m2 : float;       (* Welford's sum of squared deviations *)
+  mutable min : float;
+  mutable max : float;
+  p50 : Quantile.t;
+  p95 : Quantile.t;
+  p99 : Quantile.t;
+}
+
+let create () =
+  { count = 0;
+    mean = 0.0;
+    m2 = 0.0;
+    min = infinity;
+    max = neg_infinity;
+    p50 = Quantile.create ~q:0.5;
+    p95 = Quantile.create ~q:0.95;
+    p99 = Quantile.create ~q:0.99 }
+
+let add t x =
+  t.count <- t.count + 1;
+  let delta = x -. t.mean in
+  t.mean <- t.mean +. (delta /. float_of_int t.count);
+  t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+  if x < t.min then t.min <- x;
+  if x > t.max then t.max <- x;
+  Quantile.add t.p50 x;
+  Quantile.add t.p95 x;
+  Quantile.add t.p99 x
+
+let add_int t x = add t (float_of_int x)
+
+let count t = t.count
+
+let mean t = if t.count = 0 then 0.0 else t.mean
+
+let variance t =
+  if t.count < 2 then 0.0 else t.m2 /. float_of_int (t.count - 1)
+
+let stddev t = sqrt (variance t)
+
+let min_value t =
+  if t.count = 0 then invalid_arg "Sketch.min_value: empty";
+  t.min
+
+let max_value t =
+  if t.count = 0 then invalid_arg "Sketch.max_value: empty";
+  t.max
+
+let to_summary t =
+  if t.count = 0 then invalid_arg "Sketch.to_summary: empty";
+  { Summary.count = t.count;
+    mean = mean t;
+    stddev = stddev t;
+    min = t.min;
+    max = t.max;
+    p50 = Quantile.estimate t.p50;
+    p95 = Quantile.estimate t.p95;
+    p99 = Quantile.estimate t.p99 }

@@ -1,0 +1,70 @@
+(** Streaming statistics in O(1) memory.
+
+    The resource-telemetry layer feeds one observation per round (or per
+    node, or per worker) into these accumulators, so a million-node,
+    million-round run can summarize any counter without materializing
+    the sample list — the primitive every large-n telemetry aggregate in
+    the repository is built on.
+
+    Two estimators:
+
+    - {!Quantile}: the P² algorithm of Jain & Chlamtac (1985) — five
+      markers per tracked quantile, adjusted with a piecewise-parabolic
+      update; exact for the first five observations, an approximation
+      afterwards: within a few percent of the sample range on long
+      well-mixed streams, looser just past the five-observation buffer
+      and on sorted/reversed feeds (property-tested against {!Summary}
+      in [test/test_stats.ml], with measured error bounds per stream
+      length and order);
+    - mean / variance via Welford's online update, which is numerically
+      stable where a naive sum-of-squares cancels catastrophically.
+
+    {!t} bundles both: count, mean, variance, min, max, and P² markers
+    for p50 / p95 / p99 — the same shape {!Summary} computes exactly. *)
+
+module Quantile : sig
+  type t
+
+  val create : q:float -> t
+  (** Track the [q]-quantile, [0 < q < 1].
+      @raise Invalid_argument outside that open interval. *)
+
+  val add : t -> float -> unit
+
+  val count : t -> int
+
+  val estimate : t -> float
+  (** Current estimate: exact (interpolated order statistic) while
+      [count <= 5], the P² middle-marker height afterwards.
+      @raise Invalid_argument when no observation was added. *)
+end
+
+type t
+
+val create : unit -> t
+
+val add : t -> float -> unit
+
+val add_int : t -> int -> unit
+
+val count : t -> int
+
+val mean : t -> float
+(** 0. when empty. *)
+
+val variance : t -> float
+(** Sample variance (n−1 denominator); 0. for fewer than two
+    observations. *)
+
+val stddev : t -> float
+
+val min_value : t -> float
+(** @raise Invalid_argument when empty. *)
+
+val max_value : t -> float
+(** @raise Invalid_argument when empty. *)
+
+val to_summary : t -> Summary.t
+(** The streaming counterpart of {!Summary.of_list}: mean / stddev /
+    min / max are exact, p50 / p95 / p99 are P² estimates.
+    @raise Invalid_argument when empty. *)

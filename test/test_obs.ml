@@ -756,6 +756,234 @@ let test_validate_path () =
     (Baobs.Jsonl.validate_path tmp = Ok ());
   Sys.remove tmp
 
+(* --- Resource telemetry ----------------------------------------------------- *)
+
+let test_resource_delta_nonnegative () =
+  let before = Baobs.Resource.sample () in
+  (* Allocate enough to move the minor counter for sure. *)
+  let junk = ref [] in
+  for i = 0 to 10_000 do
+    junk := (i, string_of_int i) :: !junk
+  done;
+  ignore (List.length !junk);
+  let after = Baobs.Resource.sample () in
+  let d = Baobs.Resource.delta ~before ~after in
+  Alcotest.(check bool) "allocated > 0" true
+    (d.Baobs.Resource.allocated_words > 0.0);
+  Alcotest.(check bool) "promoted >= 0" true
+    (d.Baobs.Resource.promoted_words >= 0.0);
+  Alcotest.(check bool) "minor gcs >= 0" true
+    (d.Baobs.Resource.minor_collections >= 0);
+  Alcotest.(check bool) "major gcs >= 0" true
+    (d.Baobs.Resource.major_collections >= 0);
+  Alcotest.(check bool) "compactions >= 0" true
+    (d.Baobs.Resource.compactions >= 0);
+  (* Degenerate window: a delta over one sample is all-zero. *)
+  let z = Baobs.Resource.delta ~before ~after:before in
+  Alcotest.(check bool) "self-delta zero" true
+    (z.Baobs.Resource.allocated_words = 0.0
+    && z.Baobs.Resource.minor_collections = 0)
+
+let run_sub_hm_with_resource ~resource ~seed =
+  let n = 101 in
+  let params = Params.make ~lambda:20 ~max_epochs:5 () in
+  let proto = Sub_hm.protocol ~params ~world:`Hybrid in
+  let buf = Buffer.create 4096 in
+  let result =
+    Engine.run
+      ~tracer:(Trace.jsonl_tracer (Baobs.Jsonl.to_buffer buf))
+      ?resource proto
+      ~adversary:(Baattacks.Eraser.make ())
+      ~n ~budget:30
+      ~inputs:(Scenario.unanimous_inputs ~n true)
+      ~max_rounds:32 ~seed
+  in
+  (result, Buffer.contents buf)
+
+let test_resource_recorder_rows () =
+  Baobs.Resource.enable ();
+  let r = Baobs.Resource.create () in
+  let result, _ = run_sub_hm_with_resource ~resource:(Some r) ~seed:7L in
+  Baobs.Resource.disable ();
+  let rows = Baobs.Resource.rows r in
+  (* One setup row (round -1) plus one row per executed round. *)
+  Alcotest.(check int) "row count" (result.Engine.rounds_used + 1)
+    (List.length rows);
+  Alcotest.(check (list int)) "round numbering"
+    (List.init (result.Engine.rounds_used + 1) (fun i -> i - 1))
+    (List.map (fun row -> row.Baobs.Resource.round) rows);
+  List.iter
+    (fun row ->
+      Alcotest.(check bool) "allocated >= 0" true
+        (row.Baobs.Resource.row_allocated_words >= 0.0);
+      Alcotest.(check bool) "heap > 0" true
+        (row.Baobs.Resource.row_heap_words > 0))
+    rows;
+  (* The streaming summary covers exactly the executed rounds. *)
+  match Baobs.Resource.allocation_summary r with
+  | Some s ->
+      Alcotest.(check int) "summary count" result.Engine.rounds_used
+        s.Bastats.Summary.count
+  | None -> Alcotest.fail "expected an allocation summary"
+
+let test_resource_disabled_records_nothing () =
+  Baobs.Resource.disable ();
+  let r = Baobs.Resource.create () in
+  let _ = run_sub_hm_with_resource ~resource:(Some r) ~seed:7L in
+  Alcotest.(check int) "no rows while disabled" 0
+    (List.length (Baobs.Resource.rows r));
+  Alcotest.(check bool) "no summary" true
+    (Baobs.Resource.allocation_summary r = None)
+
+let test_resource_trace_byte_identical () =
+  (* The determinism contract: recording reads GC counters only, so the
+     same seeded run emits byte-for-byte the same trace with the
+     recorder on, off, or absent. *)
+  let _, plain = run_sub_hm_with_resource ~resource:None ~seed:11L in
+  Baobs.Resource.enable ();
+  let r = Baobs.Resource.create () in
+  let _, recorded = run_sub_hm_with_resource ~resource:(Some r) ~seed:11L in
+  Baobs.Resource.disable ();
+  Alcotest.(check bool) "recorder saw the run" true
+    (Baobs.Resource.rows r <> []);
+  Alcotest.(check string) "traces byte-identical" plain recorded
+
+let test_resource_json_roundtrip () =
+  Baobs.Resource.enable ();
+  let r = Baobs.Resource.create () in
+  let _ = run_sub_hm_with_resource ~resource:(Some r) ~seed:3L in
+  Baobs.Resource.disable ();
+  let json =
+    Baobs.Resource.to_json ~meta:[ ("protocol", Baobs.Json.String "sub-hm") ] r
+  in
+  (* Serialize → reparse → the analysis sees the recorder's rows. *)
+  let report =
+    Baobs.Resource.report_of_json
+      (Baobs.Json.of_string (Baobs.Json.to_string json))
+  in
+  Alcotest.(check int) "rows survive the round-trip"
+    (List.length (Baobs.Resource.rows r))
+    (List.length (Baobs.Resource.report_rows report));
+  List.iter2
+    (fun a b ->
+      Alcotest.(check int) "round" a.Baobs.Resource.round
+        b.Baobs.Resource.round;
+      Alcotest.(check bool) "allocated equal" true
+        (a.Baobs.Resource.row_allocated_words
+        = b.Baobs.Resource.row_allocated_words))
+    (Baobs.Resource.rows r)
+    (Baobs.Resource.report_rows report);
+  (* CSV: header plus one line per row. *)
+  let csv_lines =
+    List.filter
+      (fun l -> l <> "")
+      (String.split_on_char '\n' (Baobs.Resource.to_csv r))
+  in
+  Alcotest.(check int) "csv lines"
+    (1 + List.length (Baobs.Resource.rows r))
+    (List.length csv_lines);
+  (* Foreign schema refused. *)
+  Alcotest.(check bool) "foreign schema refused" true
+    (match
+       Baobs.Resource.report_of_json
+         (Baobs.Json.Obj [ ("schema", Baobs.Json.String "nope/v1") ])
+     with
+    | exception Baobs.Json.Parse_error _ -> true
+    | _ -> false)
+
+let synthetic_resource_json rows =
+  Baobs.Json.Obj
+    [ ("schema", Baobs.Json.String "ba-resource/v1");
+      ( "rounds",
+        Baobs.Json.List
+          (List.mapi
+             (fun i allocated ->
+               Baobs.Json.Obj
+                 [ ("round", Baobs.Json.Int i);
+                   ("allocated_words", Baobs.Json.Float allocated);
+                   ("promoted_words", Baobs.Json.Float 0.0);
+                   ("minor_gcs", Baobs.Json.Int 0);
+                   ("major_gcs", Baobs.Json.Int 0);
+                   ("heap_words", Baobs.Json.Int 1000);
+                   ("top_heap_words", Baobs.Json.Int 1000) ])
+             rows) ) ]
+
+let test_resource_flatness_verdicts () =
+  (* Steady allocation with per-epoch bursts and a decision-round spike:
+     the shape a healthy protocol run produces — flat. *)
+  let healthy =
+    [ 900_000.0; 250_000.0; 0.0; 0.0; 250_000.0; 0.0; 0.0; 250_000.0;
+      0.0; 0.0; 250_000.0; 0.0; 0.0; 250_000.0; 1_000_000.0; 950_000.0 ]
+  in
+  let f =
+    Baobs.Resource.flatness
+      (Baobs.Resource.report_of_json (synthetic_resource_json healthy))
+  in
+  Alcotest.(check bool) "bursty-but-steady is flat" true
+    f.Baobs.Resource.flat;
+  (* Linear growth in most rounds — a leak — is not flat. *)
+  let leaking = List.init 16 (fun i -> 100_000.0 +. (25_000.0 *. float_of_int i)) in
+  let f =
+    Baobs.Resource.flatness
+      (Baobs.Resource.report_of_json (synthetic_resource_json leaking))
+  in
+  Alcotest.(check bool) "linear growth is not flat" false
+    f.Baobs.Resource.flat;
+  Alcotest.(check bool) "drift positive" true (f.Baobs.Resource.drift > 0.0);
+  (* Too few rounds to fit: trivially flat. *)
+  let f =
+    Baobs.Resource.flatness
+      (Baobs.Resource.report_of_json
+         (synthetic_resource_json [ 1.0; 2.0; 3.0 ]))
+  in
+  Alcotest.(check bool) "short run trivially flat" true
+    f.Baobs.Resource.flat
+
+(* --- Report rounds window ---------------------------------------------------- *)
+
+let test_report_rounds_window () =
+  let _, _, jsonl =
+    run_sub_hm_with_series ~n:101 ~lambda:20 ~max_epochs:5 ~budget:30
+      ~adversary:(Baattacks.Eraser.make ())
+      ~inputs:(Scenario.unanimous_inputs ~n:101 true)
+      ~seed:7L
+  in
+  let full = Baobs_report.Report.of_jsonl_string jsonl in
+  let lo, hi = (1, 2) in
+  let windowed = Baobs_report.Report.of_jsonl_string ~rounds:(lo, hi) jsonl in
+  (* The windowed totals equal the full report's per-round rows summed
+     over the window — the --check sums recompute over the window. *)
+  let expect field =
+    List.fold_left
+      (fun acc (round, c) -> if lo <= round && round <= hi then acc + field c else acc)
+      0
+      (Baobs_report.Report.rounds full)
+  in
+  let t = Baobs_report.Report.totals windowed in
+  Alcotest.(check int) "windowed multicasts"
+    (expect (fun c -> c.Baobs_report.Report.multicasts))
+    t.Baobs_report.Report.multicasts;
+  Alcotest.(check int) "windowed multicast bits"
+    (expect (fun c -> c.Baobs_report.Report.multicast_bits))
+    t.Baobs_report.Report.multicast_bits;
+  Alcotest.(check int) "windowed removals"
+    (expect (fun c -> c.Baobs_report.Report.removals))
+    t.Baobs_report.Report.removals;
+  Alcotest.(check bool) "only windowed rounds remain" true
+    (List.for_all
+       (fun (round, _) -> lo <= round && round <= hi)
+       (Baobs_report.Report.rounds windowed));
+  Alcotest.(check bool) "window shrinks the event list" true
+    (Baobs_report.Report.event_count windowed
+    < Baobs_report.Report.event_count full);
+  (match Baobs_report.Report.check windowed with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail (String.concat "; " e));
+  (* An empty window is a usage error, not an empty report. *)
+  Alcotest.check_raises "inverted window"
+    (Invalid_argument "Report.of_events: empty rounds window") (fun () ->
+      ignore (Baobs_report.Report.of_jsonl_string ~rounds:(3, 1) jsonl))
+
 (* --- Trace collector fixes -------------------------------------------------- *)
 
 let test_collector_memoized_events () =
@@ -813,7 +1041,21 @@ let () =
         [ Alcotest.test_case "e1 reproduces Metrics" `Quick
             test_report_reproduces_metrics_e1;
           Alcotest.test_case "exports" `Quick test_report_exports;
-          Alcotest.test_case "empty trace" `Quick test_report_empty_trace ] );
+          Alcotest.test_case "empty trace" `Quick test_report_empty_trace;
+          Alcotest.test_case "rounds window" `Quick test_report_rounds_window ]
+      );
+      ( "resource",
+        [ Alcotest.test_case "delta nonnegative" `Quick
+            test_resource_delta_nonnegative;
+          Alcotest.test_case "recorder rows" `Quick test_resource_recorder_rows;
+          Alcotest.test_case "disabled records nothing" `Quick
+            test_resource_disabled_records_nothing;
+          Alcotest.test_case "trace byte-identical" `Quick
+            test_resource_trace_byte_identical;
+          Alcotest.test_case "json roundtrip" `Quick
+            test_resource_json_roundtrip;
+          Alcotest.test_case "flatness verdicts" `Quick
+            test_resource_flatness_verdicts ] );
       ( "sink-path",
         [ Alcotest.test_case "validate_path" `Quick test_validate_path ] );
       ( "series",

@@ -170,6 +170,118 @@ let test_table_fmt () =
   Alcotest.(check string) "float small" "0.500" (Table.fmt_float 0.5);
   Alcotest.(check string) "float int-like" "3" (Table.fmt_float 3.0)
 
+(* --- Sketch ------------------------------------------------------------ *)
+
+let exact_quantile xs q =
+  let sorted = Array.of_list xs in
+  Array.sort Float.compare sorted;
+  Summary.quantile sorted q
+
+let sketch_of xs =
+  let s = Sketch.create () in
+  List.iter (Sketch.add s) xs;
+  s
+
+(* P² is an approximation whose error depends on stream length and
+   order. Empirical worst cases over random uniform streams: ~4% of the
+   sample range at n >= 100, ~10% at 30 <= n < 100, ~34% just past the
+   5-element exact buffer — and sorted/reversed feeds (markers only
+   ever see new extremes on one side) reach ~27% even at large n. The
+   bounds here add margin on top of those measurements; they are loose
+   for short streams by the nature of the algorithm, not the tests. *)
+let p2_close ?(adversarial = false) xs q est =
+  let n = List.length xs in
+  let tol =
+    if adversarial then if n < 30 then 0.50 else 0.40
+    else if n < 30 then 0.45
+    else if n < 100 then 0.25
+    else 0.12
+  in
+  let lo = List.fold_left min infinity xs
+  and hi = List.fold_left max neg_infinity xs in
+  abs_float (est -. exact_quantile xs q) <= (tol *. (hi -. lo)) +. 1e-9
+
+let test_sketch_exact_first_five () =
+  (* Fewer than five observations: the estimate is the interpolated
+     order statistic, bit-for-bit what Summary.quantile computes. *)
+  List.iter
+    (fun xs ->
+      List.iter
+        (fun qv ->
+          let q = Sketch.Quantile.create ~q:qv in
+          List.iter (Sketch.Quantile.add q) xs;
+          Alcotest.(check bool)
+            (Printf.sprintf "q=%.2f exact on %d obs" qv (List.length xs))
+            true
+            (feq (Sketch.Quantile.estimate q) (exact_quantile xs qv)))
+        [ 0.25; 0.5; 0.95 ])
+    [ [ 7.0 ]; [ 3.0; 1.0 ]; [ 5.0; 1.0; 4.0; 2.0 ]; [ 9.0; 2.0; 7.0; 1.0; 5.0 ] ]
+
+let test_sketch_welford_matches_summary () =
+  let xs = List.init 100 (fun i -> float_of_int ((i * 37) mod 100) /. 3.0) in
+  let s = sketch_of xs in
+  let exact = Summary.of_list xs in
+  Alcotest.(check int) "count" 100 (Sketch.count s);
+  Alcotest.(check bool) "mean" true (feq ~eps:1e-6 (Sketch.mean s) exact.Summary.mean);
+  Alcotest.(check bool) "stddev" true
+    (feq ~eps:1e-6 (Sketch.stddev s) exact.Summary.stddev);
+  Alcotest.(check bool) "min" true (feq (Sketch.min_value s) exact.Summary.min);
+  Alcotest.(check bool) "max" true (feq (Sketch.max_value s) exact.Summary.max);
+  let strm = Sketch.to_summary s in
+  Alcotest.(check bool) "to_summary mean" true
+    (feq ~eps:1e-6 strm.Summary.mean exact.Summary.mean);
+  Alcotest.(check bool) "to_summary p50 close" true
+    (p2_close xs 0.5 strm.Summary.p50)
+
+let test_sketch_empty_and_errors () =
+  let s = Sketch.create () in
+  Alcotest.(check int) "count" 0 (Sketch.count s);
+  Alcotest.(check bool) "mean 0 when empty" true (feq (Sketch.mean s) 0.0);
+  Alcotest.(check bool) "variance 0 when empty" true (feq (Sketch.variance s) 0.0);
+  Alcotest.check_raises "min_value empty"
+    (Invalid_argument "Sketch.min_value: empty") (fun () ->
+      ignore (Sketch.min_value s));
+  Alcotest.check_raises "quantile q out of range"
+    (Invalid_argument "Sketch.Quantile.create: q must be in (0, 1)") (fun () ->
+      ignore (Sketch.Quantile.create ~q:1.0))
+
+let test_sketch_constant_stream () =
+  let xs = List.init 64 (fun _ -> 42.0) in
+  let strm = Sketch.to_summary (sketch_of xs) in
+  List.iter
+    (fun (name, v) -> Alcotest.(check bool) name true (feq v 42.0))
+    [ ("mean", strm.Summary.mean); ("p50", strm.Summary.p50);
+      ("p95", strm.Summary.p95); ("p99", strm.Summary.p99);
+      ("min", strm.Summary.min); ("max", strm.Summary.max) ];
+  Alcotest.(check bool) "stddev 0" true (feq strm.Summary.stddev 0.0)
+
+let sketch_qcheck_tests =
+  let open QCheck in
+  let sample_gen = list_of_size Gen.(8 -- 400) (float_range 0.0 1000.0) in
+  let quantiles_close ?adversarial name order =
+    Test.make ~name ~count:150 sample_gen (fun raw ->
+        let xs = order raw in
+        let strm = Sketch.to_summary (sketch_of xs) in
+        p2_close ?adversarial xs 0.5 strm.Summary.p50
+        && p2_close ?adversarial xs 0.95 strm.Summary.p95
+        && p2_close ?adversarial xs 0.99 strm.Summary.p99)
+  in
+  [ quantiles_close "sketch quantiles close (random order)" Fun.id;
+    quantiles_close ~adversarial:true "sketch quantiles close (sorted)"
+      (List.sort Float.compare);
+    quantiles_close ~adversarial:true "sketch quantiles close (reversed)"
+      (fun xs -> List.rev (List.sort Float.compare xs));
+    quantiles_close "sketch quantiles close (constant)" (fun xs ->
+        List.map (fun _ -> 17.5) xs);
+    Test.make ~name:"sketch mean/stddev match Summary" ~count:150 sample_gen
+      (fun xs ->
+        let strm = Sketch.to_summary (sketch_of xs) in
+        let exact = Summary.of_list xs in
+        feq ~eps:1e-6 strm.Summary.mean exact.Summary.mean
+        && feq ~eps:1e-6 strm.Summary.stddev exact.Summary.stddev
+        && feq strm.Summary.min exact.Summary.min
+        && feq strm.Summary.max exact.Summary.max) ]
+
 (* --- QCheck properties ------------------------------------------------- *)
 
 let qcheck_tests =
@@ -233,4 +345,14 @@ let () =
         [ Alcotest.test_case "render" `Quick test_table_render;
           Alcotest.test_case "arity check" `Quick test_table_arity_check;
           Alcotest.test_case "formatting" `Quick test_table_fmt ] );
+      ( "sketch",
+        Alcotest.test_case "exact for first five" `Quick
+          test_sketch_exact_first_five
+        :: Alcotest.test_case "welford matches summary" `Quick
+             test_sketch_welford_matches_summary
+        :: Alcotest.test_case "empty and errors" `Quick
+             test_sketch_empty_and_errors
+        :: Alcotest.test_case "constant stream" `Quick
+             test_sketch_constant_stream
+        :: List.map QCheck_alcotest.to_alcotest sketch_qcheck_tests );
       ("properties", qcheck) ]
