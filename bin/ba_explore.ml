@@ -1,0 +1,444 @@
+(* Bounded adversary-schedule model checker CLI.
+
+     dune exec bin/ba_explore.exe -- --protocol sub-third \
+       --n 3 --budget 2 --lambda 3 --epochs 2 --inputs ones --seed 7
+
+   Searches the bounded adversary decision tree (Bacheck.Explore) for a
+   schedule that breaks consistency, validity or termination; exits 2
+   when one is found, writing the minimized counterexample as a
+   replayable schedule (--schedule-json) and trace (--trace-jsonl). *)
+
+open Basim
+open Cmdliner
+
+type proto_choice = P_sub_third | P_static_committee
+
+let protocols =
+  [ ("sub-third", P_sub_third); ("static-committee", P_static_committee) ]
+
+type strategy_choice = S_dfs | S_random
+
+let strategies = [ ("dfs", S_dfs); ("random", S_random) ]
+
+type inputs_choice = I_zero | I_one | I_split | I_random
+
+let inputs_choices =
+  [ ("zeros", I_zero); ("ones", I_one); ("split", I_split); ("random", I_random) ]
+
+type dsts_choice = D_everyone | D_halves
+
+let dsts_choices = [ ("everyone", D_everyone); ("halves", D_halves) ]
+
+type format_choice = F_text | F_json
+
+let formats = [ ("text", F_text); ("json", F_json) ]
+
+let models =
+  [ ("static", Corruption.Static);
+    ("adaptive", Corruption.Adaptive);
+    ("strongly-adaptive", Corruption.Strongly_adaptive) ]
+
+let make_inputs choice ~n ~seed =
+  match choice with
+  | I_zero -> Scenario.unanimous_inputs ~n false
+  | I_one -> Scenario.unanimous_inputs ~n true
+  | I_split -> Scenario.split_inputs ~n
+  | I_random -> Scenario.random_inputs ~n seed
+
+type opts = {
+  strategy : strategy_choice;
+  seed : int;
+  max_rounds : int;
+  max_nodes : int;
+  samples : int;
+  max_actions : int;
+  actions_per_round : int;
+  dsts : dsts_choice;
+  allow_setup : bool;
+  all : bool;
+  no_minimize : bool;
+  format : format_choice;
+  out : string option;
+  schedule_json : string option;
+  trace_jsonl : string option;
+  replay : string option;
+}
+
+let write_json path json =
+  let oc = open_out path in
+  output_string oc (Baobs.Json.to_string json);
+  output_char oc '\n';
+  close_out oc
+
+(* Re-run a schedule through the engine with a JSONL tracer so the
+   counterexample can be replayed through `ba_obs report --check`. *)
+let write_trace (inst : (_, _, _) Bacheck.Explore.instance) sched path =
+  let oc = open_out path in
+  let emit = Trace.jsonl_tracer (Baobs.Jsonl.to_channel oc) in
+  let adversary =
+    Schedule.to_adversary ~compiler:inst.Bacheck.Explore.compiler sched
+  in
+  let (_ : Engine.result) =
+    Engine.run ~tracer:emit inst.Bacheck.Explore.protocol ~adversary
+      ~n:inst.Bacheck.Explore.n ~budget:inst.Bacheck.Explore.budget
+      ~inputs:inst.Bacheck.Explore.inputs
+      ~max_rounds:inst.Bacheck.Explore.max_rounds
+      ~seed:inst.Bacheck.Explore.exec_seed
+  in
+  close_out oc
+
+let output_report opts items stats =
+  let tool = "ba_explore" in
+  match opts.format with
+  | F_json ->
+      let json =
+        match Bacheck.Report.to_json ~tool items with
+        | Baobs.Json.Obj fields ->
+            Baobs.Json.Obj
+              (fields @ [ ("stats", Bacheck.Explore.stats_to_json stats) ])
+        | j -> j
+      in
+      (match opts.out with
+      | Some path -> write_json path json
+      | None -> print_endline (Baobs.Json.to_string json))
+  | F_text ->
+      Printf.printf "explored      : %d\n" stats.Bacheck.Explore.explored;
+      Printf.printf "violating     : %d\n" stats.Bacheck.Explore.violating;
+      if stats.Bacheck.Explore.node_cap_hit then
+        Printf.printf "node cap hit  : yes (raise --max-nodes)\n";
+      let (_ : bool) = Bacheck.Report.emit_text ~tool items in
+      ()
+
+let run_replay (inst : (_, _, _) Bacheck.Explore.instance) opts path =
+  let contents =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let sched = Schedule.of_json (Baobs.Json.of_string contents) in
+  let o = Bacheck.Explore.run_schedule inst sched in
+  let violations = Bacheck.Explore.violations_of o in
+  let finding =
+    { Bacheck.Explore.schedule = sched;
+      minimized = sched;
+      violations;
+      verdict = o.Bacheck.Explore.verdict;
+      lint = o.Bacheck.Explore.lint }
+  in
+  let items =
+    if violations = [] then []
+    else Bacheck.Explore.to_report_items [ finding ]
+  in
+  (match opts.trace_jsonl with
+  | Some p -> write_trace inst sched p
+  | None -> ());
+  output_report opts items
+    { Bacheck.Explore.explored = 1;
+      violating = (if violations = [] then 0 else 1);
+      node_cap_hit = false };
+  if violations = [] then 0 else 2
+
+let run_search (inst : (_, _, _) Bacheck.Explore.instance) opts =
+  match opts.replay with
+  | Some path -> run_replay inst opts path
+  | None ->
+      let space =
+        { (Bacheck.Explore.default_space ~max_round:(opts.max_rounds - 1)) with
+          Bacheck.Explore.max_actions = opts.max_actions;
+          actions_per_round = opts.actions_per_round;
+          allow_setup = opts.allow_setup;
+          dsts =
+            (match opts.dsts with
+            | D_everyone -> [ Schedule.Everyone ]
+            | D_halves ->
+                [ Schedule.Everyone; Schedule.Lower_half; Schedule.Upper_half ])
+        }
+      in
+      let stop_at_first = not opts.all in
+      let shrink = not opts.no_minimize in
+      let findings, stats =
+        match opts.strategy with
+        | S_dfs ->
+            Bacheck.Explore.dfs ~space ~stop_at_first
+              ~max_nodes:opts.max_nodes ~shrink inst
+        | S_random ->
+            Bacheck.Explore.random_search ~space ~samples:opts.samples
+              ~stop_at_first ~shrink ~seed:(Int64.of_int opts.seed) inst
+      in
+      (match (findings, opts.schedule_json) with
+      | f :: _, Some path ->
+          write_json path (Schedule.to_json f.Bacheck.Explore.minimized)
+      | _, _ -> ());
+      (match (findings, opts.trace_jsonl) with
+      | f :: _, Some path -> write_trace inst f.Bacheck.Explore.minimized path
+      | _, _ -> ());
+      output_report opts (Bacheck.Explore.to_report_items findings) stats;
+      if findings = [] then 0 else 2
+
+let main proto model strategy n budget lambda epochs committee inputs_choice
+    seed max_rounds max_nodes samples max_actions actions_per_round dsts
+    allow_setup all no_minimize format out schedule_json trace_jsonl replay =
+  let path_errors =
+    List.filter_map
+      (fun (flag, path) ->
+        match path with
+        | None -> None
+        | Some p -> (
+            match Baobs.Jsonl.validate_path p with
+            | Ok () -> None
+            | Error e -> Some (Printf.sprintf "%s: %s" flag e)))
+      [ ("--output", out);
+        ("--schedule-json", schedule_json);
+        ("--trace-jsonl", trace_jsonl) ]
+  in
+  if path_errors <> [] then begin
+    List.iter (fun e -> prerr_endline ("ba_explore: " ^ e)) path_errors;
+    1
+  end
+  else if n < 1 then begin
+    prerr_endline "ba_explore: --n must be at least 1";
+    1
+  end
+  else begin
+    let opts =
+      { strategy;
+        seed;
+        max_rounds;
+        max_nodes;
+        samples;
+        max_actions;
+        actions_per_round;
+        dsts;
+        allow_setup;
+        all;
+        no_minimize;
+        format;
+        out;
+        schedule_json;
+        trace_jsonl;
+        replay }
+    in
+    let seed64 = Int64.of_int seed in
+    let inputs = make_inputs inputs_choice ~n ~seed:seed64 in
+    try
+      match proto with
+      | P_sub_third ->
+          let params = Bacore.Params.make ~lambda ~max_epochs:epochs () in
+          run_search
+            { Bacheck.Explore.protocol =
+                Bacore.Sub_third.protocol ~params ~world:`Hybrid
+                  ~mode:Bacore.Sub_third.Bit_specific;
+              compiler = Baattacks.Schedule_targets.sub_third;
+              model;
+              n;
+              budget;
+              inputs;
+              max_rounds = (2 * epochs) + 2;
+              exec_seed = seed64;
+              check = Properties.agreement }
+            opts
+      | P_static_committee ->
+          run_search
+            { Bacheck.Explore.protocol =
+                Babaselines.Static_committee.protocol ~committee_size:committee;
+              compiler = Baattacks.Schedule_targets.static_committee;
+              model;
+              n;
+              budget;
+              inputs;
+              max_rounds = 4;
+              exec_seed = seed64;
+              check = Properties.agreement }
+            opts
+    with
+    | Baobs.Json.Parse_error e ->
+        prerr_endline ("ba_explore: bad schedule JSON: " ^ e);
+        1
+    | Engine.Illegal_action e ->
+        prerr_endline ("ba_explore: illegal schedule: " ^ e);
+        1
+    | Sys_error e ->
+        prerr_endline ("ba_explore: " ^ e);
+        1
+  end
+
+let proto_arg =
+  Arg.(
+    required
+    & opt (some (enum protocols)) None
+    & info [ "protocol"; "p" ] ~docv:"NAME"
+        ~doc:
+          (Printf.sprintf "Protocol to search against: %s."
+             (String.concat ", " (List.map fst protocols))))
+
+let model_arg =
+  Arg.(
+    value
+    & opt (enum models) Corruption.Adaptive
+    & info [ "model" ] ~docv:"MODEL"
+        ~doc:
+          "Corruption model granted to the searched adversary: static, \
+           adaptive, strongly-adaptive.")
+
+let strategy_arg =
+  Arg.(
+    value
+    & opt (enum strategies) S_dfs
+    & info [ "strategy" ] ~docv:"NAME"
+        ~doc:
+          "Search strategy: dfs (exhaustive over canonical schedules) or \
+           random (budgeted uniform sampling).")
+
+let n_arg = Arg.(value & opt int 3 & info [ "n" ] ~doc:"Number of nodes.")
+
+let budget_arg =
+  Arg.(value & opt int 1 & info [ "budget"; "f" ] ~doc:"Corruption budget.")
+
+let lambda_arg =
+  Arg.(
+    value & opt int 3
+    & info [ "lambda" ] ~doc:"Expected committee size λ (sub-third).")
+
+let epochs_arg =
+  Arg.(value & opt int 2 & info [ "epochs" ] ~doc:"Epoch cap (sub-third).")
+
+let committee_arg =
+  Arg.(
+    value & opt int 3
+    & info [ "committee" ] ~doc:"Committee size (static-committee).")
+
+let inputs_arg =
+  Arg.(
+    value
+    & opt (enum inputs_choices) I_one
+    & info [ "inputs" ] ~docv:"KIND"
+        ~doc:"Input bits: zeros, ones, split, random.")
+
+let seed_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "seed" ]
+        ~doc:
+          "Seed of every leaf execution (and of the random strategy's \
+           sampler). Same seed, same findings.")
+
+let max_rounds_arg =
+  Arg.(
+    value & opt int 2
+    & info [ "max-rounds" ] ~docv:"R"
+        ~doc:"Schedule actions may occur in rounds 0 .. $(docv)-1.")
+
+let max_nodes_arg =
+  Arg.(
+    value & opt int 200_000
+    & info [ "max-nodes" ] ~docv:"N"
+        ~doc:"DFS executes at most $(docv) schedules before giving up.")
+
+let samples_arg =
+  Arg.(
+    value & opt int 1_000
+    & info [ "samples" ] ~docv:"N"
+        ~doc:"Random strategy draws $(docv) schedules.")
+
+let max_actions_arg =
+  Arg.(
+    value & opt int 4
+    & info [ "max-actions" ] ~docv:"N"
+        ~doc:"At most $(docv) actions per schedule (setup included).")
+
+let actions_per_round_arg =
+  Arg.(
+    value & opt int 4
+    & info [ "actions-per-round" ] ~docv:"N"
+        ~doc:"At most $(docv) actions in any single round.")
+
+let dsts_arg =
+  Arg.(
+    value
+    & opt (enum dsts_choices) D_everyone
+    & info [ "dsts" ] ~docv:"KIND"
+        ~doc:
+          "Injection-target vocabulary: everyone (multicast only) or halves \
+           (multicast plus the two network halves — the split-vote idiom).")
+
+let allow_setup_arg =
+  Arg.(
+    value & flag
+    & info [ "allow-setup" ]
+        ~doc:
+          "Also enumerate setup-time (static) corruptions. Required for the \
+           static model, where mid-round corruption is illegal.")
+
+let all_arg =
+  Arg.(
+    value & flag
+    & info [ "all" ]
+        ~doc:"Collect every violating schedule instead of stopping at the \
+              first.")
+
+let no_minimize_arg =
+  Arg.(
+    value & flag
+    & info [ "no-minimize" ]
+        ~doc:"Report discovered schedules as-is, skipping delta-debugging \
+              minimization.")
+
+let format_arg =
+  Arg.(
+    value
+    & opt (enum formats) F_text
+    & info [ "format" ] ~docv:"FMT" ~doc:"Output format: text or json.")
+
+let out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "output"; "o" ] ~docv:"FILE"
+        ~doc:"Write the findings document to $(docv) instead of stdout \
+              (json format only).")
+
+let schedule_json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "schedule-json" ] ~docv:"FILE"
+        ~doc:
+          "Write the first finding's minimized schedule to $(docv) as \
+           ba-schedule/v1 JSON (replayable with --replay).")
+
+let trace_jsonl_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-jsonl" ] ~docv:"FILE"
+        ~doc:
+          "Re-run the first finding's minimized schedule and stream its \
+           execution trace to $(docv) (one JSON object per event — feed it \
+           to ba_obs report --check).")
+
+let replay_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "replay" ] ~docv:"FILE"
+        ~doc:
+          "Skip searching: load a ba-schedule/v1 JSON from $(docv), run it \
+           against the configured instance, and judge it (exit 2 if it \
+           violates a property).")
+
+let cmd =
+  let doc =
+    "Bounded model checking over adversary schedules for the BA simulator"
+  in
+  Cmd.v
+    (Cmd.info "ba_explore" ~doc)
+    Term.(
+      const main $ proto_arg $ model_arg $ strategy_arg $ n_arg $ budget_arg
+      $ lambda_arg $ epochs_arg $ committee_arg $ inputs_arg $ seed_arg
+      $ max_rounds_arg $ max_nodes_arg $ samples_arg $ max_actions_arg
+      $ actions_per_round_arg $ dsts_arg $ allow_setup_arg $ all_arg
+      $ no_minimize_arg $ format_arg $ out_arg $ schedule_json_arg
+      $ trace_jsonl_arg $ replay_arg)
+
+let () = exit (Cmd.eval' cmd)

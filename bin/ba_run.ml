@@ -224,20 +224,8 @@ let dispatch proto adv ~n ~budget ~lambda ~epochs ~inputs_choice ~seed ~reps
             Bacheck.Trace_lint.verify ~metrics:result.Engine.metrics
               ~model:adversary.Engine.model ~budget (Trace.events c)
           in
-          if findings = [] then begin
-            print_endline "check-trace: clean";
-            0
-          end
-          else begin
-            List.iter
-              (fun f ->
-                Format.eprintf "check-trace: %a@." Bacheck.Trace_lint.pp_finding
-                  f)
-              findings;
-            Printf.eprintf "check-trace: %d finding(s)\n%!"
-              (List.length findings);
-            3
-          end
+          let items = Bacheck.Report.of_trace_findings findings in
+          if Bacheck.Report.emit_text ~tool:"check-trace" items then 3 else 0
   in
   let run_sweep proto_rec label make_adv =
     if trace || check_trace || trace_jsonl <> None || resource_json <> None

@@ -1,0 +1,73 @@
+open Bacore
+
+let sub_third : (Sub_third.env, Sub_third.msg) Basim.Schedule.compiler =
+  { Basim.Schedule.kinds = [ "propose"; "ack" ];
+    compile =
+      (fun env ~round ~src ~kind ~bit ->
+        let epoch = round / 2 in
+        match kind with
+        | "propose" -> (
+            match
+              env.Sub_third.elig.Bafmine.Eligibility.mine ~node:src
+                ~msg:(Sub_third.propose_mining_string ~epoch ~bit)
+                ~p:(Sub_third.propose_probability env)
+            with
+            | Some cred -> Some (Sub_third.make_propose ~epoch ~bit ~cred)
+            | None -> None)
+        | "ack" -> (
+            match
+              env.Sub_third.elig.Bafmine.Eligibility.mine ~node:src
+                ~msg:(Sub_third.ack_mining_string env.Sub_third.mode ~epoch ~bit)
+                ~p:(Sub_third.ack_probability env)
+            with
+            | Some cred -> Some (Sub_third.make_ack ~epoch ~bit ~cred)
+            | None -> None)
+        | _ -> None) }
+
+let static_committee :
+    (Babaselines.Static_committee.env, Babaselines.Static_committee.msg)
+    Basim.Schedule.compiler =
+  let open Babaselines in
+  { Basim.Schedule.kinds = [ "vote"; "result" ];
+    compile =
+      (fun env ~round:_ ~src ~kind ~bit ->
+        (* Honest nodes discard votes/results from outside the public
+           committee, so such injections are unrealizable by
+           construction — report them as infeasible rather than wasting
+           search nodes on no-ops. *)
+        if not (List.mem src env.Static_committee.committee) then None
+        else
+          match kind with
+          | "vote" ->
+              Some
+                (Static_committee.Committee_vote
+                   { bit;
+                     tag =
+                       Bacrypto.Signature.sign env.Static_committee.sigs
+                         ~signer:src
+                         (Static_committee.vote_stmt bit) })
+          | "result" -> Some (Static_committee.sign_result env ~signer:src ~bit)
+          | _ -> None) }
+
+let split_vote_sub_third ~n ~budget ~max_rounds : Basim.Schedule.t =
+  let corrupt = Split_vote.top_ids ~n ~budget in
+  let round_actions r =
+    let kind = if r mod 2 = 0 then "propose" else "ack" in
+    List.concat_map
+      (fun c ->
+        List.map
+          (fun bit ->
+            Basim.Schedule.Inject
+              { src = c;
+                kind;
+                bit;
+                dst =
+                  (if bit then Basim.Schedule.Upper_half
+                   else Basim.Schedule.Lower_half) })
+          [ false; true ])
+      corrupt
+  in
+  { Basim.Schedule.name = "split-vote-sub3-transcript";
+    model = Basim.Corruption.Adaptive;
+    setup = corrupt;
+    steps = List.init max_rounds (fun r -> (r, round_actions r)) }

@@ -1,0 +1,35 @@
+(** Per-protocol {!Basim.Schedule.compiler}s, plus hand-written attacks
+    transcribed as schedules.
+
+    A schedule names injected messages abstractly — [(kind, bit)] — and
+    a compiler realizes them against a concrete protocol: mining real
+    eligibility credentials, producing real signatures, or reporting the
+    message unrealizable ([None]). These compilers are what
+    [Bacheck.Explore] and [ba_explore] search over; the transcriptions
+    pin the interpreter to the hand-written attacks (a schedule
+    transcribing {!Split_vote.sub_third} must produce a byte-identical
+    seeded trace). *)
+
+val sub_third :
+  (Bacore.Sub_third.env, Bacore.Sub_third.msg) Basim.Schedule.compiler
+(** Kinds ["propose"] and ["ack"]: epoch is [round / 2] (matching the
+    protocol's round layout — proposals land on even rounds, ACKs on odd
+    rounds), the bit picks the mining string, and realization requires
+    winning the corresponding eligibility ticket for [src]. *)
+
+val static_committee :
+  (Babaselines.Static_committee.env, Babaselines.Static_committee.msg)
+  Basim.Schedule.compiler
+(** Kinds ["vote"] and ["result"]: validly signed committee messages
+    from [src]; unrealizable when [src] is not on the public committee
+    (honest nodes would discard them anyway). *)
+
+val split_vote_sub_third :
+  n:int -> budget:int -> max_rounds:int -> Basim.Schedule.t
+(** {!Split_vote.sub_third} as data: the same setup corrupt set
+    ({!Split_vote.top_ids}) and, every round, the same
+    per-corrupt-node × per-bit targeted injections (bit 0 to the lower
+    half, bit 1 to the upper half; proposals on even rounds, ACKs on
+    odd). Interpreting this schedule against {!sub_third} reproduces the
+    hand-written attack's seeded trace byte for byte — the equivalence
+    test that anchors the interpreter's semantics. *)

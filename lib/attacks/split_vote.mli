@@ -19,6 +19,12 @@
       targeted Commit storms. Corrupt committees reach the [λ/2] quorum
       only once [f ≥ n/2] — the honest-majority protocol's threshold. *)
 
+val top_ids : n:int -> budget:int -> int list
+(** The setup corrupt set both strategies use: [budget] node ids spread
+    evenly over [0 .. n-1], so the honest remainder keeps the same input
+    mix in both network halves. Exposed so {!Schedule_targets} can
+    transcribe these attacks as data without duplicating the formula. *)
+
 val sub_third :
   unit -> (Bacore.Sub_third.env, Bacore.Sub_third.msg) Basim.Engine.adversary
 

@@ -5,6 +5,12 @@ let to_string = function
   | Adaptive -> "adaptive"
   | Strongly_adaptive -> "strongly-adaptive"
 
+let of_string = function
+  | "static" -> Some Static
+  | "adaptive" -> Some Adaptive
+  | "strongly-adaptive" -> Some Strongly_adaptive
+  | _ -> None
+
 let allows_removal = function
   | Strongly_adaptive -> true
   | Static | Adaptive -> false

@@ -24,6 +24,11 @@ type model =
 
 val to_string : model -> string
 
+val of_string : string -> model option
+(** Inverse of {!to_string} on its stable tags ([static], [adaptive],
+    [strongly-adaptive]); [None] on anything else. Used by the
+    serializable adversary-schedule codec ({!Schedule}). *)
+
 val allows_removal : model -> bool
 (** Only [Strongly_adaptive] may erase already-sent messages. *)
 

@@ -502,6 +502,74 @@ let test_lint_hot_path () =
     "same code outside engine.ml is not hot-path" 0
     (List.length (Bacheck.Source_lint.scan_source ~path:"lib/x/other.ml" src))
 
+let test_lint_unused_capability () =
+  let attack_path = "lib/attacks/sample.ml" in
+  let attack_scan src =
+    List.map Bacheck.Source_lint.rule_name
+      (rules (Bacheck.Source_lint.scan_source ~path:attack_path src))
+  in
+  let declares_injection_never_injects =
+    "open Basim\n\
+     let make () =\n\
+    \  { Engine.adv_name = \"sample\";\n\
+    \    model = Corruption.Adaptive;\n\
+    \    caps =\n\
+    \      { Capability.caps =\n\
+    \          [ Capability.Midround_corruption; Capability.Injection ];\n\
+    \        budget_bound = None };\n\
+    \    setup = (fun _ ~n:_ ~budget:_ ~rng:_ -> []);\n\
+    \    intervene = (fun _ -> [ Engine.Corrupt 0 ]) }\n"
+  in
+  Alcotest.(check (list string))
+    "declared injection, no Inject: flagged" [ "unused-capability" ]
+    (attack_scan declares_injection_never_injects);
+  Alcotest.(check int)
+    "same file outside lib/attacks: rule is scoped" 0
+    (List.length
+       (Bacheck.Source_lint.scan_source ~path:"lib/sim/sample.ml"
+          declares_injection_never_injects));
+  let exercises_everything =
+    "open Basim\n\
+     let make () =\n\
+    \  { Engine.adv_name = \"sample\";\n\
+    \    model = Corruption.Strongly_adaptive;\n\
+    \    caps =\n\
+    \      { Capability.caps =\n\
+    \          [ Capability.Setup_corruption; Capability.Midround_corruption;\n\
+    \            Capability.After_fact_removal; Capability.Injection ];\n\
+    \        budget_bound = None };\n\
+    \    setup = (fun _ ~n:_ ~budget:_ ~rng:_ -> [ 0 ]);\n\
+    \    intervene =\n\
+    \      (fun _ ->\n\
+    \        [ Engine.Corrupt 1;\n\
+    \          Engine.Remove { victim = 1; index = 0 };\n\
+    \          Engine.Inject { src = 0; payload; dst = Engine.All } ]) }\n"
+  in
+  Alcotest.(check int)
+    "all four capabilities exercised: clean" 0
+    (List.length
+       (Bacheck.Source_lint.scan_source ~path:attack_path exercises_everything));
+  let trivial_setup_declared =
+    "open Basim\n\
+     let make () =\n\
+    \  { Engine.adv_name = \"sample\";\n\
+    \    model = Corruption.Static;\n\
+    \    caps =\n\
+    \      { Capability.caps = [ Capability.Setup_corruption ];\n\
+    \        budget_bound = None };\n\
+    \    setup = (fun _ ~n:_ ~budget:_ ~rng:_ -> []);\n\
+    \    intervene = (fun _ -> []) }\n"
+  in
+  Alcotest.(check (list string))
+    "declared setup corruption, no-op setup body: flagged"
+    [ "unused-capability" ]
+    (attack_scan trivial_setup_declared);
+  Alcotest.(check int)
+    "module with no caps declaration (e.g. compilers): clean" 0
+    (List.length
+       (Bacheck.Source_lint.scan_source ~path:attack_path
+          "let compile env = ignore env"))
+
 let test_lint_repo_clean () =
   (* The repository itself must stay lint-clean — same gate as
      `dune build @lint`, runnable from the test tree. *)
@@ -572,5 +640,7 @@ let () =
           Alcotest.test_case "obj magic / exit" `Quick
             test_lint_obj_magic_and_exit;
           Alcotest.test_case "hot path" `Quick test_lint_hot_path;
+          Alcotest.test_case "unused capability" `Quick
+            test_lint_unused_capability;
           Alcotest.test_case "repo is lint-clean" `Quick test_lint_repo_clean ]
       ) ]
