@@ -7,7 +7,7 @@ type env = {
   fs : Bacrypto.Forward_secure.scheme;
   erasure : bool;
   fmine : Bafmine.Fmine.t option;
-  conflicts : int ref;
+  conflicts : int Atomic.t;
 }
 
 type msg =
@@ -77,7 +77,7 @@ let tally (env : env) (state : state) ~prev_epoch ~inbox =
       state.belief <- true;
       state.sticky <- true
   | true, true ->
-      incr env.conflicts;
+      Atomic.incr env.conflicts;
       state.sticky <- true
   | false, false -> state.sticky <- false
 
@@ -107,7 +107,7 @@ let protocol ~params ~erasure =
       fs = Bacrypto.Forward_secure.setup ~n rng;
       erasure;
       fmine = Some fmine;
-      conflicts = ref 0 }
+      conflicts = Atomic.make 0 }
   in
   let init _env ~rng ~n:_ ~me ~input =
     { me; rng; belief = input; sticky = true; out = None; stopped = false }

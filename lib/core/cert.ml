@@ -31,6 +31,18 @@ let well_formed c ~quorum ~check =
   in
   Iset.cardinal distinct >= quorum
 
+let well_formed_batch c ~quorum ~check_all =
+  let oks = check_all c.endorsements in
+  let distinct =
+    List.fold_left2
+      (fun seen (node, _) ok ->
+        if Iset.mem node seen then seen
+        else if ok then Iset.add node seen
+        else seen)
+      Iset.empty c.endorsements oks
+  in
+  Iset.cardinal distinct >= quorum
+
 let size_bits c ~endorsement_bits =
   match c with
   | None -> 8

@@ -35,6 +35,16 @@ val well_formed :
     (signature verification or credential verification for the statement
     "Vote, c.iter, c.bit"). *)
 
+val well_formed_batch :
+  'a t -> quorum:int -> check_all:((int * 'a) list -> bool list) -> bool
+(** Batched {!well_formed}: [check_all] receives every endorsement at
+    once (one amortized crypto sweep, e.g. {!Eligibility.t.verify_many}
+    or {!Bacrypto.Signature.verify_batch}) and returns one verdict per
+    entry, in order. Equivalent to [well_formed] whenever [check_all]
+    agrees pointwise with [check] — checks here are pure, so evaluating
+    them for duplicate endorsers that [well_formed] would short-circuit
+    past cannot change the verdict. *)
+
 val size_bits : 'a t option -> endorsement_bits:('a -> int) -> int
 (** Wire size: per endorsement, a 32-bit node id plus the endorsement
     itself; plus a 48-bit header. [None] costs 8 bits (a tag saying

@@ -41,6 +41,9 @@ type env = {
       (* positive verification results, shared across receivers (sound:
          signature verification is deterministic) *)
   proposal_cache : (proposal, unit) Hashtbl.t;  (* same, for proposals *)
+  cache_lock : Mutex.t;
+      (* guards both caches when the engine shards the step phase across
+         domains; verification runs outside the lock *)
 }
 
 module Iset = Set.Make (Int)
@@ -83,15 +86,18 @@ let terminate_stmt ~iter ~bit =
 (* Certificate validity: f+1 distinct valid iteration-r vote signatures.
    Positive results are cached in the env — deterministic and monotone. *)
 let valid_cert env (cert : vote_cert) =
-  Hashtbl.mem env.cert_cache cert
+  Mutex.protect env.cache_lock (fun () -> Hashtbl.mem env.cert_cache cert)
   ||
+  let stmt = vote_stmt ~iter:cert.Cert.iter ~bit:cert.Cert.bit in
   let ok =
-    Cert.well_formed cert ~quorum:(env.f + 1) ~check:(fun ~node tag ->
-        Signature.verify env.sigs ~signer:node
-          (vote_stmt ~iter:cert.Cert.iter ~bit:cert.Cert.bit)
-          tag)
+    (* one amortized HMAC sweep over the endorsement signatures *)
+    Cert.well_formed_batch cert ~quorum:(env.f + 1) ~check_all:(fun entries ->
+        Signature.verify_batch env.sigs
+          (List.map (fun (node, tag) -> (node, stmt, tag)) entries))
   in
-  if ok then Hashtbl.replace env.cert_cache cert ();
+  if ok then
+    Mutex.protect env.cache_lock (fun () ->
+        Hashtbl.replace env.cert_cache cert ());
   ok
 
 let valid_cert_opt env = function None -> true | Some c -> valid_cert env c
@@ -101,7 +107,7 @@ let valid_cert_opt env = function None -> true | Some c -> valid_cert env c
    the proposed bit, from an earlier iteration. *)
 let valid_proposal env ~iter (p : proposal) =
   p.p_iter = iter
-  && (Hashtbl.mem env.proposal_cache p
+  && (Mutex.protect env.cache_lock (fun () -> Hashtbl.mem env.proposal_cache p)
      ||
      let ok =
        Signature.verify env.sigs
@@ -113,7 +119,9 @@ let valid_proposal env ~iter (p : proposal) =
           | None -> true
           | Some c -> c.Cert.bit = p.p_bit && c.Cert.iter < iter)
      in
-     if ok then Hashtbl.replace env.proposal_cache p ();
+     if ok then
+       Mutex.protect env.cache_lock (fun () ->
+           Hashtbl.replace env.proposal_cache p ());
      ok)
 
 (* Vote validity: properly signed by its sender and — from iteration 2 on —
@@ -136,14 +144,18 @@ let valid_commit env ~sender ~iter ~bit ~cert ~tag =
 let valid_terminate env ~sender ~iter ~bit ~commits ~tag =
   Signature.verify env.sigs ~signer:sender (terminate_stmt ~iter ~bit) tag
   &&
+  let stmt = commit_stmt ~iter ~bit in
+  let oks =
+    Signature.verify_batch env.sigs
+      (List.map (fun (node, ctag) -> (node, stmt, ctag)) commits)
+  in
   let distinct =
-    List.fold_left
-      (fun seen (node, ctag) ->
+    List.fold_left2
+      (fun seen (node, _) ok ->
         if Iset.mem node seen then seen
-        else if Signature.verify env.sigs ~signer:node (commit_stmt ~iter ~bit) ctag
-        then Iset.add node seen
+        else if ok then Iset.add node seen
         else seen)
-      Iset.empty commits
+      Iset.empty commits oks
   in
   Iset.cardinal distinct >= env.f + 1
 
@@ -247,7 +259,8 @@ let protocol ?(max_iters = 40) () =
       leaders;
       max_iters;
       cert_cache = Hashtbl.create 256;
-      proposal_cache = Hashtbl.create 64 }
+      proposal_cache = Hashtbl.create 64;
+      cache_lock = Mutex.create () }
   in
   let init _env ~rng ~n:_ ~me ~input =
     { me;

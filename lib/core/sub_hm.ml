@@ -49,6 +49,10 @@ type env = {
          deterministic, so a certificate that verified once verifies
          forever *)
   proposal_cache : (proposal, unit) Hashtbl.t;  (* same, for proposals *)
+  cache_lock : Mutex.t;
+      (* guards both caches when the engine shards the step phase across
+         domains; verification itself runs outside the lock (results are
+         deterministic, so a racing duplicate check is harmless) *)
 }
 
 module Iset = Set.Make (Int)
@@ -82,22 +86,27 @@ let verify_ticket env ~node ~msg ~p cred =
    results are cached in the env — every receiver checks the same
    certificate value, and validity is monotone. *)
 let valid_cert env (cert : elig_cert) =
-  Hashtbl.mem env.cert_cache cert
+  Mutex.protect env.cache_lock (fun () -> Hashtbl.mem env.cert_cache cert)
   ||
   let ok =
-    Cert.well_formed cert ~quorum:(quorum env) ~check:(fun ~node cred ->
-        verify_ticket env ~node
-          ~msg:(mining_string `Vote ~iter:cert.Cert.iter ~bit:cert.Cert.bit)
-          ~p:(committee_probability env) cred)
+    (* all endorsements share one mining string and difficulty, so the
+       whole quorum check is a single amortized sweep *)
+    Cert.well_formed_batch cert ~quorum:(quorum env)
+      ~check_all:
+        (env.elig.Eligibility.verify_many
+           ~msg:(mining_string `Vote ~iter:cert.Cert.iter ~bit:cert.Cert.bit)
+           ~p:(committee_probability env))
   in
-  if ok then Hashtbl.replace env.cert_cache cert ();
+  if ok then
+    Mutex.protect env.cache_lock (fun () ->
+        Hashtbl.replace env.cert_cache cert ());
   ok
 
 let valid_cert_opt env = function None -> true | Some c -> valid_cert env c
 
 let valid_proposal env ~iter (p : proposal) =
   p.p_iter = iter
-  && (Hashtbl.mem env.proposal_cache p
+  && (Mutex.protect env.cache_lock (fun () -> Hashtbl.mem env.proposal_cache p)
      ||
      let ok =
        verify_ticket env ~node:p.p_node
@@ -108,7 +117,9 @@ let valid_proposal env ~iter (p : proposal) =
           | None -> true
           | Some c -> c.Cert.bit = p.p_bit && c.Cert.iter < iter)
      in
-     if ok then Hashtbl.replace env.proposal_cache p ();
+     if ok then
+       Mutex.protect env.cache_lock (fun () ->
+           Hashtbl.replace env.proposal_cache p ());
      ok)
 
 let valid_vote env ~sender ~iter ~bit ~proposal ~cred =
@@ -132,17 +143,18 @@ let valid_terminate env ~sender ~iter ~bit ~commits ~cred =
   verify_ticket env ~node:sender ~msg:(terminate_mining_string ~bit)
     ~p:(committee_probability env) cred
   &&
+  let oks =
+    env.elig.Eligibility.verify_many
+      ~msg:(mining_string `Commit ~iter ~bit)
+      ~p:(committee_probability env) commits
+  in
   let distinct =
-    List.fold_left
-      (fun seen (node, ccred) ->
+    List.fold_left2
+      (fun seen (node, _) ok ->
         if Iset.mem node seen then seen
-        else if
-          verify_ticket env ~node
-            ~msg:(mining_string `Commit ~iter ~bit)
-            ~p:(committee_probability env) ccred
-        then Iset.add node seen
+        else if ok then Iset.add node seen
         else seen)
-      Iset.empty commits
+      Iset.empty commits oks
   in
   Iset.cardinal distinct >= quorum env
 
@@ -237,7 +249,8 @@ let protocol ~params ~world =
           pki = None;
           fmine = Some fmine;
           cert_cache = Hashtbl.create 256;
-          proposal_cache = Hashtbl.create 64 }
+          proposal_cache = Hashtbl.create 64;
+          cache_lock = Mutex.create () }
     | `Real ->
         let pki = Bacrypto.Pki.setup ~n rng in
         { n;
@@ -246,7 +259,8 @@ let protocol ~params ~world =
           pki = Some pki;
           fmine = None;
           cert_cache = Hashtbl.create 256;
-          proposal_cache = Hashtbl.create 64 }
+          proposal_cache = Hashtbl.create 64;
+          cache_lock = Mutex.create () }
   in
   let init _env ~rng ~n:_ ~me ~input =
     { me;

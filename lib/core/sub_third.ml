@@ -9,7 +9,7 @@ type env = {
   mode : mode;
   pki : Bacrypto.Pki.t option;
   fmine : Bafmine.Fmine.t option;
-  conflicts : int ref;
+  conflicts : int Atomic.t;
 }
 
 type msg =
@@ -82,7 +82,7 @@ let tally (env : env) (state : state) ~prev_epoch ~inbox =
          resilience bound or in Bit_agnostic mode under attack) — the
          event the §3.3 Remark describes.  Counted once per observing
          node per epoch. *)
-      incr env.conflicts;
+      Atomic.incr env.conflicts;
       state.sticky <- true
   | false, false -> state.sticky <- false
 
@@ -114,7 +114,7 @@ let protocol ~params ~world ~mode =
           mode;
           pki = None;
           fmine = Some fmine;
-          conflicts = ref 0 }
+          conflicts = Atomic.make 0 }
     | `Real ->
         let pki = Bacrypto.Pki.setup ~n rng in
         { n;
@@ -123,7 +123,7 @@ let protocol ~params ~world ~mode =
           mode;
           pki = Some pki;
           fmine = None;
-          conflicts = ref 0 }
+          conflicts = Atomic.make 0 }
   in
   let init _env ~rng ~n:_ ~me ~input =
     { me; rng; belief = input; sticky = true; out = None; stopped = false }

@@ -52,10 +52,6 @@ let mac_concat_with kctx parts =
   List.iter (fun part -> Sha256.feed_string inner (encode part)) parts;
   finish kctx inner
 
-let mac ~key msg = mac_with (precompute ~key) msg
-
-let mac_concat ~key parts = mac_concat_with (precompute ~key) parts
-
 let equal a b =
   if String.length a <> String.length b then false
   else begin
@@ -63,3 +59,72 @@ let equal a b =
     String.iteri (fun i c -> diff := !diff lor (Char.code c lxor Char.code b.[i])) a;
     !diff = 0
   end
+
+(* Batched sweeps. A singleton tag pays two [Sha256.copy]s — four fresh
+   array/bytes allocations. A batch restores one pair of scratch contexts
+   from the cached midstates per entry instead, so the whole sweep touches
+   the allocator only for the output digests. Each function is observably
+   equivalent to mapping its singleton counterpart. *)
+
+let scratch () = (Sha256.init (), Sha256.init ())
+
+let mac_scratch ~inner ~outer kctx msg =
+  Sha256.restore inner ~from:kctx.inner0;
+  Sha256.feed_string inner msg;
+  let inner_digest = Sha256.finalize inner in
+  Sha256.restore outer ~from:kctx.outer0;
+  Sha256.feed_string outer inner_digest;
+  Sha256.finalize outer
+
+let mac_concat_scratch ~inner ~outer kctx parts =
+  Sha256.restore inner ~from:kctx.inner0;
+  List.iter (fun part -> Sha256.feed_string inner (encode part)) parts;
+  let inner_digest = Sha256.finalize inner in
+  Sha256.restore outer ~from:kctx.outer0;
+  Sha256.feed_string outer inner_digest;
+  Sha256.finalize outer
+
+let mac_batch kctx msgs =
+  match msgs with
+  | [] -> []
+  | [ msg ] -> [ mac_with kctx msg ]
+  | msgs ->
+      let inner, outer = scratch () in
+      List.map (fun msg -> mac_scratch ~inner ~outer kctx msg) msgs
+
+let mac_concat_batch entries =
+  match entries with
+  | [] -> []
+  | [ (kctx, parts) ] -> [ mac_concat_with kctx parts ]
+  | entries ->
+      let inner, outer = scratch () in
+      List.map
+        (fun (kctx, parts) -> mac_concat_scratch ~inner ~outer kctx parts)
+        entries
+
+let verify_batch kctx entries =
+  match entries with
+  | [] -> []
+  | [ (msg, tag) ] -> [ equal tag (mac_with kctx msg) ]
+  | entries ->
+      let inner, outer = scratch () in
+      List.map
+        (fun (msg, tag) -> equal tag (mac_scratch ~inner ~outer kctx msg))
+        entries
+
+let first_invalid kctx entries =
+  match entries with
+  | [] -> None
+  | entries ->
+      let inner, outer = scratch () in
+      let rec go i = function
+        | [] -> None
+        | (msg, tag) :: rest ->
+            if equal tag (mac_scratch ~inner ~outer kctx msg) then go (i + 1) rest
+            else Some i
+      in
+      go 0 entries
+
+let mac ~key msg = mac_with (precompute ~key) msg
+
+let mac_concat ~key parts = mac_concat_with (precompute ~key) parts

@@ -40,3 +40,30 @@ val mac_concat_with : key_ctx -> string list -> string
 val equal : string -> string -> bool
 (** Constant-time comparison of two equal-length tags; [false] on length
     mismatch. *)
+
+(** {1 Batched sweeps}
+
+    Per-round verification in the protocols checks dozens of tags under
+    one key (quorum certificates, eligibility proofs). The batch entry
+    points below amortize the per-tag context setup: one pair of scratch
+    SHA-256 contexts is {!Sha256.restore}d from the cached midstates per
+    entry, replacing two fresh context copies per tag. Every batch
+    function returns exactly what mapping its singleton counterpart
+    would — same values, same order — including for empty and singleton
+    batches. *)
+
+val mac_batch : key_ctx -> string list -> string list
+(** [mac_batch kctx msgs = List.map (mac_with kctx) msgs]. *)
+
+val mac_concat_batch : (key_ctx * string list) list -> string list
+(** [mac_concat_batch entries = List.map (fun (k, ps) -> mac_concat_with
+    k ps) entries]. Keys may differ per entry (per-signer midstates). *)
+
+val verify_batch : key_ctx -> (string * string) list -> bool list
+(** [verify_batch kctx [(msg, tag); ...]] is, for each entry, whether
+    [tag] is the HMAC tag of [msg] under [kctx]
+    ([equal tag (mac_with kctx msg)]), in order. *)
+
+val first_invalid : key_ctx -> (string * string) list -> int option
+(** [first_invalid kctx entries] is the index of the first [(msg, tag)]
+    entry whose tag does not verify, or [None] if all verify. *)

@@ -48,6 +48,12 @@ let copy ctx =
     (* the schedule is scratch space, valid only within [compress] *)
     w = Array.make 64 0 }
 
+let restore ctx ~from =
+  Array.blit from.h 0 ctx.h 0 8;
+  Bytes.blit from.block 0 ctx.block 0 64;
+  ctx.used <- from.used;
+  ctx.total <- from.total
+
 let mask32 = 0xffff_ffff
 
 (* Rotations use the double-word trick: [x lor (x lsl 32)] holds the value

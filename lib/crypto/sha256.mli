@@ -22,6 +22,12 @@ val copy : ctx -> ctx
     midstate caching possible — absorb a fixed prefix once, then [copy]
     per message ({!Hmac.precompute}). *)
 
+val restore : ctx -> from:ctx -> unit
+(** [restore ctx ~from] resets [ctx] to the state of [from] in place,
+    without allocating. Batched HMAC sweeps use one scratch context
+    restored from the cached midstate per message instead of one fresh
+    {!copy} per message ({!Hmac.mac_batch}). [from] is not modified. *)
+
 val feed_bytes : ctx -> bytes -> pos:int -> len:int -> unit
 (** [feed_bytes ctx b ~pos ~len] absorbs [len] bytes of [b] starting at
     [pos]. @raise Invalid_argument if the range is out of bounds. *)

@@ -19,7 +19,8 @@ let coupled_protocols ~params ~n ~pki_seed =
             pki = pki_opt;
             fmine = None;
             cert_cache = Hashtbl.create 256;
-            proposal_cache = Hashtbl.create 64 }) }
+            proposal_cache = Hashtbl.create 64;
+            cache_lock = Mutex.create () }) }
   in
   (with_env hybrid_elig None, with_env real_elig (Some pki))
 

@@ -6,6 +6,7 @@ type t = {
   world : [ `Hybrid | `Real ];
   mine : node:int -> msg:string -> p:float -> credential option;
   verify : node:int -> msg:string -> p:float -> credential -> bool;
+  verify_many : msg:string -> p:float -> (int * credential) list -> bool list;
   credential_bits : credential -> int;
 }
 
@@ -18,6 +19,18 @@ let hybrid fmine =
       (fun ~node ~msg ~p:_ -> function
         | Ideal_ticket -> Fmine.verify fmine ~node ~msg
         | Vrf_credential _ -> false);
+    verify_many =
+      (fun ~msg ~p:_ entries ->
+        (* One lock acquisition for the whole quorum check; the lookup for
+           a [Vrf_credential] entry is discarded (read-only, harmless). *)
+        let oks =
+          Fmine.verify_batch fmine
+            (List.map (fun (node, _) -> (node, msg)) entries)
+        in
+        List.map2
+          (fun (_, cred) ok ->
+            match cred with Ideal_ticket -> ok | Vrf_credential _ -> false)
+          entries oks);
     credential_bits =
       (function Ideal_ticket -> 0 | Vrf_credential ev -> Bacrypto.Vrf.evaluation_bits ev) }
 

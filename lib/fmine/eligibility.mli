@@ -27,6 +27,13 @@ type t = {
           corrupt nodes' keys); attack implementations respect this. *)
   verify : node:int -> msg:string -> p:float -> credential -> bool;
       (** Check an announced eligibility. *)
+  verify_many : msg:string -> p:float -> (int * credential) list -> bool list;
+      (** [verify_many ~msg ~p [(node, c); ...]] checks many announced
+          eligibilities for the {e same} mining string and difficulty —
+          the quorum-certificate shape. Result-equivalent to mapping
+          {!field-verify} over the entries, but amortized: one batched
+          crypto sweep in the real world, one functionality lookup pass
+          in the hybrid world. *)
   credential_bits : credential -> int;
       (** Wire size of the credential (0 in the hybrid world). *)
 }

@@ -4,31 +4,40 @@ type t = {
   coin_key : Bacrypto.Prf.cached; (* hidden; drives the Bernoulli coins *)
   table : (int * string, record) Hashtbl.t;
   mutable successes : int;
+  (* When the engine shards a round across domains, concurrent honest
+     steps mine and verify against one shared functionality. The lock
+     covers every table access; [mine] holds it across coin derivation
+     too so [successes] counts each distinct attempt exactly once.
+     Contention is negligible: within a round, nodes mine distinct
+     (node, msg) keys. *)
+  lock : Mutex.t;
 }
 
 let create rng =
   { coin_key = Bacrypto.Prf.cache (Bacrypto.Prf.gen rng);
     table = Hashtbl.create 1024;
-    successes = 0 }
+    successes = 0;
+    lock = Mutex.create () }
 
 let p_mine = Baobs.Probe.register "fmine.mine"
 
 let mine_unprobed t ~node ~msg ~p =
-  match Hashtbl.find_opt t.table (node, msg) with
-  | Some r ->
-      if r.prob <> p then
-        invalid_arg "Fmine.mine: same (node, msg) mined with a different p";
-      r.outcome
-  | None ->
-      (* Same bytes as [Printf.sprintf "%d|%s" node msg], minus the
-         format-string interpreter on the hot mining path. *)
-      let rho =
-        Bacrypto.Prf.eval_cached t.coin_key (string_of_int node ^ "|" ^ msg)
-      in
-      let outcome = Bacrypto.Prf.below_difficulty rho ~p in
-      Hashtbl.replace t.table (node, msg) { outcome; prob = p };
-      if outcome then t.successes <- t.successes + 1;
-      outcome
+  Mutex.protect t.lock (fun () ->
+      match Hashtbl.find_opt t.table (node, msg) with
+      | Some r ->
+          if r.prob <> p then
+            invalid_arg "Fmine.mine: same (node, msg) mined with a different p";
+          r.outcome
+      | None ->
+          (* Same bytes as [Printf.sprintf "%d|%s" node msg], minus the
+             format-string interpreter on the hot mining path. *)
+          let rho =
+            Bacrypto.Prf.eval_cached t.coin_key (string_of_int node ^ "|" ^ msg)
+          in
+          let outcome = Bacrypto.Prf.below_difficulty rho ~p in
+          Hashtbl.replace t.table (node, msg) { outcome; prob = p };
+          if outcome then t.successes <- t.successes + 1;
+          outcome)
 
 let mine t ~node ~msg ~p =
   let t0 = Baobs.Probe.start () in
@@ -36,25 +45,37 @@ let mine t ~node ~msg ~p =
   Baobs.Probe.stop p_mine t0;
   outcome
 
-let verify t ~node ~msg =
+let verify_unlocked t ~node ~msg =
   match Hashtbl.find_opt t.table (node, msg) with
   | Some r -> r.outcome
   | None -> false
 
-let attempts t = Hashtbl.length t.table
+let verify t ~node ~msg =
+  Mutex.protect t.lock (fun () -> verify_unlocked t ~node ~msg)
 
-let successes t = t.successes
+let verify_batch t entries =
+  match entries with
+  | [] -> []
+  | entries ->
+      Mutex.protect t.lock (fun () ->
+          List.map (fun (node, msg) -> verify_unlocked t ~node ~msg) entries)
+
+let attempts t = Mutex.protect t.lock (fun () -> Hashtbl.length t.table)
+
+let successes t = Mutex.protect t.lock (fun () -> t.successes)
 
 let dump t =
-  Hashtbl.fold (fun key r acc -> (key, r.outcome) :: acc) t.table []
+  Mutex.protect t.lock (fun () ->
+      Hashtbl.fold (fun key r acc -> (key, r.outcome) :: acc) t.table [])
 
 let successes_for t ~prefix =
   let plen = String.length prefix in
-  Hashtbl.fold
-    (fun (_, msg) r acc ->
-      if
-        r.outcome && String.length msg >= plen
-        && String.equal (String.sub msg 0 plen) prefix
-      then acc + 1
-      else acc)
-    t.table 0
+  Mutex.protect t.lock (fun () ->
+      Hashtbl.fold
+        (fun (_, msg) r acc ->
+          if
+            r.outcome && String.length msg >= plen
+            && String.equal (String.sub msg 0 plen) prefix
+          then acc + 1
+          else acc)
+        t.table 0)

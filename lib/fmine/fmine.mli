@@ -40,6 +40,10 @@ val verify : t -> node:int -> msg:string -> bool
     [msg] {e and} the attempt succeeded (Figure 1: unattempted mines
     verify as 0). *)
 
+val verify_batch : t -> (int * string) list -> bool list
+(** [verify_batch t [(node, msg); ...] = List.map (fun (node, msg) ->
+    verify t ~node ~msg) ...], under a single lock acquisition. *)
+
 val attempts : t -> int
 (** Total number of distinct mining attempts so far (used by tests and by
     the stochastic-lemma experiment). *)

@@ -1,19 +1,30 @@
 (* Fixed-size domain pool. One shared FIFO of closures, guarded by a
-   mutex; workers sleep on [work] between batches, the driver sleeps on
-   [idle] while the last in-flight jobs finish. Determinism does not
-   live here — jobs complete in arbitrary order — it lives in
-   [run_thunks], which gives every job a dedicated result slot and lets
-   [map]/[map_reduce] read the slots in index order.
+   mutex; workers sleep on [work] between batches, each submitting
+   driver sleeps on its batch's [finished] condition while the batch's
+   last in-flight jobs run. Determinism does not live here — jobs
+   complete in arbitrary order — it lives in [run_thunks], which gives
+   every job a dedicated result slot and lets [map]/[map_reduce] read
+   the slots in index order.
+
+   Completion is tracked per batch (not with a global pending counter)
+   so that several driver domains may submit batches to one pool
+   concurrently: the trial-level pool's workers can themselves shard
+   intra-trial work onto a second pool without their waits entangling.
 
    Each executor slot additionally keeps utilization counters (jobs
    run, queue-wait, busy time, per-domain minor words) for the
    resource-telemetry layer. They are updated under [lock] in the same
-   critical section that decrements [pending], so a [stats] snapshot
-   taken after a batch returns sees every job of that batch; the
-   counters observe the jobs without feeding anything back into them,
-   so they cannot perturb the deterministic-merge contract. *)
+   critical section that decrements the batch counter, so a [stats]
+   snapshot taken after a batch returns sees every job of that batch;
+   the counters observe the jobs without feeding anything back into
+   them, so they cannot perturb the deterministic-merge contract. *)
 
-type job = { enqueued_ns : float; body : unit -> unit }
+type batch = {
+  mutable remaining : int;   (* queued + running jobs of this batch *)
+  finished : Condition.t;    (* signalled when [remaining] reaches 0 *)
+}
+
+type job = { enqueued_ns : float; body : unit -> unit; batch : batch }
 
 type slot_stats = {
   mutable s_jobs : int;
@@ -25,9 +36,7 @@ type slot_stats = {
 type t = {
   lock : Mutex.t;
   work : Condition.t;      (* signalled when the queue gains work / on shutdown *)
-  idle : Condition.t;      (* signalled when [pending] returns to 0 *)
   queue : job Queue.t;
-  mutable pending : int;   (* queued + currently running jobs *)
   mutable live : bool;
   mutable workers : unit Domain.t array;
   slots : slot_stats array;  (* slot 0 = caller, 1.. = workers *)
@@ -72,7 +81,10 @@ let charge slot ~wait ~busy ~words =
 
 (* Run queued jobs until the queue is empty; expects [t.lock] held on
    entry and leaves it held on exit. [slot] is the executor's stats
-   slot (0 for the driver, worker index + 1 otherwise). *)
+   slot (0 for a driver, worker index + 1 otherwise). A draining driver
+   takes jobs in FIFO order regardless of batch, so it may execute jobs
+   of a concurrently submitted batch — harmless, since job bodies never
+   block on other jobs. *)
 let drain_queue t slot =
   while not (Queue.is_empty t.queue) do
     let job = Queue.pop t.queue in
@@ -81,8 +93,8 @@ let drain_queue t slot =
     let busy, words = execute job.body in
     Mutex.lock t.lock;
     charge t.slots.(slot) ~wait ~busy ~words;
-    t.pending <- t.pending - 1;
-    if t.pending = 0 then Condition.broadcast t.idle
+    job.batch.remaining <- job.batch.remaining - 1;
+    if job.batch.remaining = 0 then Condition.broadcast job.batch.finished
   done
 
 let worker t slot =
@@ -99,9 +111,7 @@ let create ~jobs =
   let t =
     { lock = Mutex.create ();
       work = Condition.create ();
-      idle = Condition.create ();
       queue = Queue.create ();
-      pending = 0;
       live = true;
       workers = [||];
       slots =
@@ -158,9 +168,10 @@ let with_pool ~jobs f =
 
 (* Execute the thunks and return their outcomes in index order. The
    driver domain participates: it drains the queue alongside the
-   workers, then waits for the stragglers. Slot [i] is written by
-   exactly one executor and read only after [pending] has returned to 0
-   under [lock], which orders the write before the read. *)
+   workers, then waits for its batch's stragglers. Slot [i] is written
+   by exactly one executor and read only after the batch counter has
+   returned to 0 under [lock], which orders the write before the
+   read. *)
 let run_thunks pool thunks =
   let arr = Array.of_list thunks in
   let count = Array.length arr in
@@ -181,16 +192,17 @@ let run_thunks pool thunks =
         Mutex.unlock pool.lock)
       arr
   else begin
+    let batch = { remaining = count; finished = Condition.create () } in
     Mutex.lock pool.lock;
     let enqueued_ns = now_ns () in
     Array.iteri
-      (fun i thunk -> Queue.push { enqueued_ns; body = cell i thunk } pool.queue)
+      (fun i thunk ->
+        Queue.push { enqueued_ns; body = cell i thunk; batch } pool.queue)
       arr;
-    pool.pending <- pool.pending + count;
     Condition.broadcast pool.work;
     drain_queue pool 0;
-    while pool.pending > 0 do
-      Condition.wait pool.idle pool.lock
+    while batch.remaining > 0 do
+      Condition.wait batch.finished pool.lock
     done;
     Mutex.unlock pool.lock
   end;
@@ -213,3 +225,21 @@ let map_reduce ~pool ~merge ~init jobs =
   Array.fold_left
     (fun acc outcome -> merge acc (join_outcome outcome))
     init (run_thunks pool jobs)
+
+(* Contiguous ascending chunks: chunk [c] of [chunks] covers
+   [n*c/chunks, n*(c+1)/chunks). Outcomes are joined in chunk-index
+   order, so the exception that surfaces is the one raised at the
+   globally smallest index — exactly what a sequential [f ~lo:0 ~hi:n]
+   would raise first. *)
+let shard ~pool ~n f =
+  if n > 0 then begin
+    let chunks = min (size pool) n in
+    if chunks <= 1 then f ~lo:0 ~hi:n
+    else
+      let thunks =
+        List.init chunks (fun c ->
+            let lo = n * c / chunks and hi = n * (c + 1) / chunks in
+            fun () -> f ~lo ~hi)
+      in
+      Array.iter join_outcome (run_thunks pool thunks)
+  end

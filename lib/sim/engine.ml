@@ -108,8 +108,63 @@ let p_step = Baobs.Probe.register "engine.honest_step"
 let p_adversary = Baobs.Probe.register "engine.adversary"
 let p_delivery = Baobs.Probe.register "engine.delivery"
 
+(* ------------------------------------------------------------------ *)
+(* Intra-trial parallelism: a process-wide pool for sharding the
+   honest-step phase of a round across domains. Defaults to 1 (fully
+   sequential); resolved from BA_INTRA_JOBS on first use, overridable
+   by [set_intra_jobs] (the CLIs' --intra-jobs flag) or per-run via
+   [run ~pool]. The pool is created lazily and cached per jobs value;
+   a replaced pool is deliberately NOT shut down — a trial running on
+   another domain may still be sharding onto it, and idle leaked
+   workers merely sleep on a condition variable until process exit
+   (same process-lifetime policy as the experiments' trial pool). *)
+
+let intra_lock = Mutex.create ()
+
+let intra_jobs_ref : int option ref = ref None
+
+let intra_pool_ref : Bapar.Pool.t option ref = ref None
+
+let resolve_intra_jobs_locked () =
+  match !intra_jobs_ref with
+  | Some j -> j
+  | None ->
+      let j =
+        match Sys.getenv_opt "BA_INTRA_JOBS" with
+        | None -> 1
+        | Some s -> (
+            match int_of_string_opt (String.trim s) with
+            | Some j when j >= 1 -> j
+            | Some _ | None -> 1)
+      in
+      intra_jobs_ref := Some j;
+      j
+
+let intra_jobs () = Mutex.protect intra_lock resolve_intra_jobs_locked
+
+let set_intra_jobs j =
+  if j < 1 then invalid_arg "Engine.set_intra_jobs: jobs must be >= 1";
+  Mutex.protect intra_lock (fun () ->
+      match !intra_jobs_ref with
+      | Some cur when cur = j -> ()
+      | Some _ | None ->
+          intra_jobs_ref := Some j;
+          intra_pool_ref := None)
+
+let intra_pool () =
+  Mutex.protect intra_lock (fun () ->
+      let j = resolve_intra_jobs_locked () in
+      if j <= 1 then None
+      else
+        match !intra_pool_ref with
+        | Some p -> Some p
+        | None ->
+            let p = Bapar.Pool.create ~jobs:j in
+            intra_pool_ref := Some p;
+            Some p)
+
 let run_env ?(tracer = fun (_ : Trace.event) -> ()) ?series ?resource
-    ?(on_caps_mismatch = `Refuse) proto ~adversary ~n ~budget ~inputs
+    ?(on_caps_mismatch = `Refuse) ?pool proto ~adversary ~n ~budget ~inputs
     ~max_rounds ~seed =
   if Array.length inputs <> n then
     invalid_arg "Engine.run: inputs length must equal n";
@@ -200,6 +255,21 @@ let run_env ?(tracer = fun (_ : Trace.event) -> ()) ?series ?resource
      each round), and the delivery accumulators. *)
   let wires = { wb_arr = [||]; wb_len = 0 } in
   let intents = Array.make n [] in
+  (* Intra-round parallelism: [None] is the sequential engine; [Some p]
+     shards phase 1 across [p] in fixed node-index chunks. An explicit
+     [~pool] argument wins over the process-wide [intra_pool]; a pool of
+     size 1 is normalized away so the sequential path stays the baseline
+     itself, not a one-chunk simulation of it. *)
+  let pool =
+    match pool with
+    | Some p -> if Bapar.Pool.size p <= 1 then None else Some p
+    | None -> intra_pool ()
+  in
+  (* Set by a sharded phase 1 for nodes that halted this round; drained
+     (and reset) by the sequential node-ascending post-pass so Halted
+     events, [halt_rounds] and [active] updates happen in exactly the
+     order the sequential engine produces. *)
+  let new_halt = Array.make n false in
   let empty_pairs = Array.init n (fun i -> (i, [])) in
   let view_intents = Array.init n (fun i -> (i, [])) in
   let acc = Array.make n [] in
@@ -213,17 +283,39 @@ let run_env ?(tracer = fun (_ : Trace.event) -> ()) ?series ?resource
     let t_step = Baobs.Probe.start () in
     wires.wb_len <- 0;
     Array.fill intents 0 n [];
-    for i = 0 to n - 1 do
-      if (not (Corruption.is_corrupt tracker i)) && not (proto.halted states.(i))
-      then begin
-        let state', sends = proto.step env states.(i) ~round:r ~inbox:inboxes.(i) in
-        states.(i) <- state';
-        intents.(i) <- sends;
-        if proto.halted state' && halt_rounds.(i) = None then begin
-          halt_rounds.(i) <- Some r;
-          decr active;
-          tracer (Trace.Halted { round = r; node = i; output = proto.output state' })
+    (* Each node's step writes only its own [states]/[intents]/[new_halt]
+       slots, so disjoint index chunks are data-race-free. Corruption and
+       halt status of other nodes are only read, and phase 2 (the sole
+       writer of [tracker]) has not run yet this round. *)
+    let step_range ~lo ~hi =
+      for i = lo to hi - 1 do
+        if (not (Corruption.is_corrupt tracker i))
+           && not (proto.halted states.(i))
+        then begin
+          let state', sends =
+            proto.step env states.(i) ~round:r ~inbox:inboxes.(i)
+          in
+          states.(i) <- state';
+          intents.(i) <- sends;
+          if proto.halted state' && halt_rounds.(i) = None then
+            new_halt.(i) <- true
         end
+      done
+    in
+    (match pool with
+    | Some p -> Bapar.Pool.shard ~pool:p ~n step_range
+    | None -> step_range ~lo:0 ~hi:n);
+    (* Sequential node-ascending post-pass: the only events phase 1 emits
+       are Halted, and the sequential engine emits them in ascending node
+       order, so replaying them here makes the trace byte-identical for
+       every pool size. *)
+    for i = 0 to n - 1 do
+      if new_halt.(i) then begin
+        new_halt.(i) <- false;
+        halt_rounds.(i) <- Some r;
+        decr active;
+        tracer
+          (Trace.Halted { round = r; node = i; output = proto.output states.(i) })
       end
     done;
     (* Wires are buffered in ascending (node, send) order — the same order
@@ -459,8 +551,8 @@ let run_env ?(tracer = fun (_ : Trace.event) -> ()) ?series ?resource
       all_honest_decided;
       halt_rounds } )
 
-let run ?tracer ?series ?resource ?on_caps_mismatch proto ~adversary ~n ~budget
-    ~inputs ~max_rounds ~seed =
+let run ?tracer ?series ?resource ?on_caps_mismatch ?pool proto ~adversary ~n
+    ~budget ~inputs ~max_rounds ~seed =
   snd
-    (run_env ?tracer ?series ?resource ?on_caps_mismatch proto ~adversary ~n
-       ~budget ~inputs ~max_rounds ~seed)
+    (run_env ?tracer ?series ?resource ?on_caps_mismatch ?pool proto ~adversary
+       ~n ~budget ~inputs ~max_rounds ~seed)

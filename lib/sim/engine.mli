@@ -138,11 +138,27 @@ type result = {
           terminate-cascade experiment measures the spread of these *)
 }
 
+val set_intra_jobs : int -> unit
+(** Set the process-wide intra-trial parallelism degree — how many
+    domains {!run} shards each round's honest-step phase across. [1]
+    (the default) is the fully sequential engine. The backing pool is
+    created lazily on the next run; replacing the degree drops the
+    cached pool without shutting it down (a concurrent trial may still
+    be sharding onto it — idle workers merely sleep until process
+    exit). This is the programmatic form of the CLIs' [--intra-jobs]
+    flag; the initial value is read from the [BA_INTRA_JOBS]
+    environment variable (invalid or unset → 1).
+    @raise Invalid_argument if the argument is [< 1]. *)
+
+val intra_jobs : unit -> int
+(** The current process-wide intra-trial parallelism degree. *)
+
 val run :
   ?tracer:(Trace.event -> unit) ->
   ?series:Baobs.Series.t ->
   ?resource:Baobs.Resource.t ->
   ?on_caps_mismatch:[ `Refuse | `Warn ] ->
+  ?pool:Bapar.Pool.t ->
   ('env, 'state, 'msg) protocol ->
   adversary:('env, 'msg) adversary ->
   n:int ->
@@ -158,6 +174,31 @@ val run :
     aggregates at the end of the run). The engine's three phases are
     additionally timed under the [engine.*] {!Baobs.Probe}s when the
     probe registry is enabled.
+
+    {b Intra-trial parallelism.} [pool] (default: the process-wide pool
+    configured by {!set_intra_jobs} / [BA_INTRA_JOBS]) shards phase 1 —
+    the honest-step computations of a round — across the pool's domains
+    in fixed contiguous node-index chunks ({!Bapar.Pool.shard}). The
+    execution is {e observably identical} to the sequential engine for
+    every pool size: per-node RNG streams are split off the root by node
+    name at init (never shared across nodes), each step writes only its
+    own node's slots, wire buffering / adversary intervention / delivery
+    stay sequential, and halts detected by parallel chunks are replayed
+    by a sequential node-ascending post-pass — so traces, metrics,
+    series, and outputs are byte-identical, not merely equivalent. A
+    pool of size 1 (or [None] after normalization) {e is} the
+    sequential engine, not a one-chunk simulation of it.
+
+    The contract assumes what every protocol in the repository
+    satisfies: [step] does not mutate state shared across nodes except
+    through the crypto/mining layers, which serialize internally (memo
+    caches, [Fmine] counters) with results independent of arrival
+    order. A hypothetical adversary that injects a message referencing
+    a (node, mining-string) pair honest nodes first mine {e in the
+    delivery round itself} would make even the sequential semantics
+    verifier-order-dependent; that is outside the contract (all in-tree
+    adversaries mine only in sequential phase 2 and reference only
+    earlier-round mines).
 
     [resource], when given (and {!Baobs.Resource.enabled}), receives
     one GC/memory row per round — allocated words, promotions,
@@ -180,6 +221,7 @@ val run_env :
   ?series:Baobs.Series.t ->
   ?resource:Baobs.Resource.t ->
   ?on_caps_mismatch:[ `Refuse | `Warn ] ->
+  ?pool:Bapar.Pool.t ->
   ('env, 'state, 'msg) protocol ->
   adversary:('env, 'msg) adversary ->
   n:int ->

@@ -272,7 +272,7 @@ let test_cm_ack_requires_fs_signature () =
       ~seed:62L
   in
   Alcotest.(check int) "garbled signatures never create conflicts" 0
-    !(env.Chen_micali.conflicts);
+    (Atomic.get env.Chen_micali.conflicts);
   let verdict = Properties.agreement ~inputs result in
   Alcotest.(check bool) "still valid" true verdict.Properties.valid
 

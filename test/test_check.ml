@@ -633,7 +633,10 @@ let () =
       ( "jsonl-roundtrip",
         Alcotest.test_case "jsonl tracer reparses" `Slow
           test_jsonl_tracer_roundtrip
-        :: List.map QCheck_alcotest.to_alcotest roundtrip_tests );
+        :: List.map
+             (QCheck_alcotest.to_alcotest
+                ~rand:(Random.State.make [| 0xba002 |]))
+             roundtrip_tests );
       ( "source-lint",
         [ Alcotest.test_case "blanking" `Quick test_lint_blanking;
           Alcotest.test_case "poly compare" `Quick test_lint_poly_compare;

@@ -515,7 +515,11 @@ let qcheck_tests =
   ]
 
 let () =
-  let qcheck = List.map QCheck_alcotest.to_alcotest qcheck_tests in
+  let qcheck =
+    List.map
+      (QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 0xba003 |]))
+      qcheck_tests
+  in
   Alcotest.run "core"
     [ ( "params",
         [ Alcotest.test_case "quorums" `Quick test_params_quorums;

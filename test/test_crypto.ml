@@ -655,8 +655,139 @@ let qcheck_tests =
         Vrf.verify params pk m (Vrf.eval params sk m));
   ]
 
+(* --- Batched sweeps ≡ singleton maps ------------------------------------ *)
+
+(* The engine's batched-verify layer must be observably equivalent to
+   mapping the singleton verifier — including empty and singleton
+   batches (which take dedicated code paths) and batches mixing valid
+   and forged entries (so the scratch-context reuse is shown not to
+   leak state between entries). *)
+let batch_qcheck_tests =
+  let open QCheck in
+  (* Flip one bit of a tag: a minimally forged entry. *)
+  let tamper tag =
+    String.mapi
+      (fun i c -> if i = 0 then Char.chr (Char.code c lxor 1) else c)
+      tag
+  in
+  let gen_msgs = list_of_size Gen.(0 -- 8) (string_of_size Gen.(0 -- 80)) in
+  [ Test.make ~name:"hmac mac_batch = map mac" ~count:150
+      (pair (string_of_size Gen.(1 -- 64)) gen_msgs)
+      (fun (key, msgs) ->
+        let kctx = Hmac.precompute ~key in
+        Hmac.mac_batch kctx msgs = List.map (Hmac.mac_with kctx) msgs);
+    Test.make ~name:"hmac mac_concat_batch = map mac_concat" ~count:100
+      (pair
+         (string_of_size Gen.(1 -- 64))
+         (list_of_size
+            Gen.(0 -- 6)
+            (list_of_size Gen.(0 -- 4) (string_of_size Gen.(0 -- 40)))))
+      (fun (key, batches) ->
+        let kctx = Hmac.precompute ~key in
+        Hmac.mac_concat_batch (List.map (fun parts -> (kctx, parts)) batches)
+        = List.map (Hmac.mac_concat_with kctx) batches);
+    Test.make ~name:"hmac verify_batch = map verify (mixed forged)" ~count:150
+      (pair
+         (string_of_size Gen.(1 -- 64))
+         (list_of_size
+            Gen.(0 -- 8)
+            (pair (string_of_size Gen.(0 -- 80)) bool)))
+      (fun (key, entries) ->
+        let kctx = Hmac.precompute ~key in
+        let tagged =
+          List.map
+            (fun (msg, good) ->
+              let tag = Hmac.mac_with kctx msg in
+              (msg, if good then tag else tamper tag))
+            entries
+        in
+        Hmac.verify_batch kctx tagged
+        = List.map
+            (fun (msg, tag) -> Hmac.equal tag (Hmac.mac_with kctx msg))
+            tagged);
+    Test.make ~name:"hmac first_invalid finds the poisoned index" ~count:150
+      (triple (string_of_size Gen.(1 -- 64)) gen_msgs small_nat)
+      (fun (key, msgs, k) ->
+        let kctx = Hmac.precompute ~key in
+        let tagged = List.map (fun m -> (m, Hmac.mac_with kctx m)) msgs in
+        Hmac.first_invalid kctx tagged = None
+        && (match tagged with
+           | [] -> true
+           | _ ->
+               let poison = k mod List.length tagged in
+               let poisoned =
+                 List.mapi
+                   (fun i (m, tag) ->
+                     if i = poison then (m, tamper tag) else (m, tag))
+                   tagged
+               in
+               Hmac.first_invalid kctx poisoned = Some poison));
+    Test.make ~name:"signature verify_batch = map verify (mixed forged)"
+      ~count:60
+      (pair int64
+         (list_of_size
+            Gen.(0 -- 8)
+            (triple (int_range 0 4) (string_of_size Gen.(0 -- 40)) bool)))
+      (fun (seed, entries) ->
+        let scheme = Signature.setup ~n:5 (Rng.create seed) in
+        let batch =
+          List.map
+            (fun (signer, msg, good) ->
+              let tag = Signature.sign scheme ~signer msg in
+              (signer, msg, if good then tag else tamper tag))
+            entries
+        in
+        Signature.verify_batch scheme batch
+        = List.map
+            (fun (signer, msg, tag) -> Signature.verify scheme ~signer msg tag)
+            batch);
+    Test.make ~name:"vrf verify_batch = map verify (mixed forged)" ~count:25
+      (pair int64
+         (list_of_size
+            Gen.(0 -- 5)
+            (pair (string_of_size Gen.(0 -- 40)) bool)))
+      (fun (seed, entries) ->
+        let rng = Rng.create seed in
+        let params =
+          { Vrf.crs_comm = Commitment.gen rng; crs_nizk = Nizk.gen rng }
+        in
+        let sk0, pk0 = Vrf.keygen params rng ~index:0 in
+        let sk1, _ = Vrf.keygen params rng ~index:1 in
+        (* A forged entry pairs node 0's pk with node 1's evaluation. *)
+        let batch =
+          List.map
+            (fun (m, good) ->
+              (pk0, m, Vrf.eval params (if good then sk0 else sk1) m))
+            entries
+        in
+        Vrf.verify_batch params batch
+        = List.map (fun (pk, m, ev) -> Vrf.verify params pk m ev) batch);
+    Test.make ~name:"fmine verify_batch = map verify (mixed unmined)"
+      ~count:60
+      (pair int64
+         (list_of_size
+            Gen.(0 -- 8)
+            (triple (int_range 0 9) (string_of_size Gen.(0 -- 20)) bool)))
+      (fun (seed, entries) ->
+        let fmine = Bafmine.Fmine.create (Rng.create seed) in
+        let batch =
+          List.map
+            (fun (node, msg, mine_it) ->
+              if mine_it then ignore (Bafmine.Fmine.mine fmine ~node ~msg ~p:0.8);
+              (node, msg))
+            entries
+        in
+        Bafmine.Fmine.verify_batch fmine batch
+        = List.map
+            (fun (node, msg) -> Bafmine.Fmine.verify fmine ~node ~msg)
+            batch) ]
+
 let () =
-  let qcheck = List.map QCheck_alcotest.to_alcotest qcheck_tests in
+  let rand = Random.State.make [| 0xba001 |] in
+  let qcheck = List.map (QCheck_alcotest.to_alcotest ~rand) qcheck_tests in
+  let batch =
+    List.map (QCheck_alcotest.to_alcotest ~rand) batch_qcheck_tests
+  in
   Alcotest.run "crypto"
     [ ( "sha256",
         [ Alcotest.test_case "empty" `Quick test_sha256_empty;
@@ -729,4 +860,5 @@ let () =
         [ Alcotest.test_case "setup consistency" `Quick test_pki_setup_consistency;
           Alcotest.test_case "corrupt reveals state" `Quick test_pki_corrupt_reveals_matching_state;
           Alcotest.test_case "out of range" `Quick test_pki_out_of_range ] );
-      ("properties", qcheck) ]
+      ("properties", qcheck);
+      ("batch-properties", batch) ]

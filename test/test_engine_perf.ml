@@ -32,14 +32,18 @@ let msg_bits m = 8 + (m land 31)
 type state = { me : int; stopped : bool }
 
 (* The protocol ignores its inputs and rng and replays the plan; every
-   step records the inbox it was handed into [log]. *)
-let scripted plan log : (unit, state, int) Engine.protocol =
+   step records the inbox it was handed into its node's [log] slot.
+   One slot per node (not one shared list) keeps the recording
+   race-free and order-independent when phase 1 runs sharded; the
+   harness flattens the slots into (round, node) order afterwards. *)
+let scripted plan (log : ((int * int) * (int * int) list) list ref array) :
+    (unit, state, int) Engine.protocol =
   { Engine.proto_name = "scripted";
     make_env = (fun ~n:_ _ -> ());
     init = (fun () ~rng:_ ~n:_ ~me ~input:_ -> { me; stopped = false });
     step =
       (fun () s ~round ~inbox ->
-        log := ((round, s.me), inbox) :: !log;
+        log.(s.me) := ((round, s.me), inbox) :: !(log.(s.me));
         let sends =
           List.map
             (fun (dst, payload) -> { Engine.dst; payload })
@@ -236,29 +240,39 @@ let run_reference plan =
     all_honest_decided;
     halt_rounds }
 
-let run_real plan =
-  let log = ref [] in
+(* [pool] defaults to a size-1 pool (the sequential engine); the
+   cross-jobs differential suite below reruns the same plan on larger
+   pools. The series JSON rides alongside the summary so sharding is
+   also pinned to produce the identical per-round × per-node series. *)
+let run_real ?pool plan =
+  let log = Array.init plan.n (fun _ -> ref []) in
   let collector = Trace.collector () in
   let series = Baobs.Series.create ~n:plan.n in
   let result =
     Engine.run
       ~tracer:(Trace.observe collector)
-      ~series
+      ~series ?pool
       (scripted plan log)
       ~adversary:(script_adversary plan)
       ~n:plan.n ~budget:plan.n
       ~inputs:(Array.make plan.n false)
       ~max_rounds:plan.max_rounds ~seed:11L
   in
-  { logs = List.rev !log;
-    events = Trace.events collector;
-    metrics_json = Baobs.Json.to_string (Metrics.to_json result.Engine.metrics);
-    outputs = result.Engine.outputs;
-    corrupt = result.Engine.corrupt;
-    corruptions = result.Engine.corruptions;
-    rounds_used = result.Engine.rounds_used;
-    all_honest_decided = result.Engine.all_honest_decided;
-    halt_rounds = result.Engine.halt_rounds }
+  let logs =
+    Array.to_list log
+    |> List.concat_map (fun slot -> List.rev !slot)
+    |> List.sort (fun (k1, _) (k2, _) -> compare (k1 : int * int) k2)
+  in
+  ( { logs;
+      events = Trace.events collector;
+      metrics_json = Baobs.Json.to_string (Metrics.to_json result.Engine.metrics);
+      outputs = result.Engine.outputs;
+      corrupt = result.Engine.corrupt;
+      corruptions = result.Engine.corruptions;
+      rounds_used = result.Engine.rounds_used;
+      all_honest_decided = result.Engine.all_honest_decided;
+      halt_rounds = result.Engine.halt_rounds },
+    Baobs.Json.to_string (Baobs.Series.to_json series) )
 
 (* ------------------------------------------------------------------ *)
 (* Scenario generation                                                *)
@@ -358,7 +372,7 @@ let print_plan plan =
 (* ------------------------------------------------------------------ *)
 
 let equivalent plan =
-  let real = run_real plan and reference = run_reference plan in
+  let real, _series = run_real plan and reference = run_reference plan in
   real.logs = reference.logs
   && real.events = reference.events
   && String.equal real.metrics_json reference.metrics_json
@@ -369,10 +383,48 @@ let equivalent plan =
   && real.all_honest_decided = reference.all_honest_decided
   && real.halt_rounds = reference.halt_rounds
 
+(* ------------------------------------------------------------------ *)
+(* Cross-jobs differential: sharded phase 1 = sequential engine       *)
+(* ------------------------------------------------------------------ *)
+
+(* One pool per size under test, created once for the whole suite and
+   leaked (process lifetime, same policy as the engine's own cached
+   intra pool). Size 1 is exercised via [?pool:None], which IS the
+   sequential engine, so the comparison is parallel-vs-baseline and
+   not parallel-vs-parallel. *)
+let intra_pools =
+  lazy (List.map (fun jobs -> (jobs, Bapar.Pool.create ~jobs)) [ 2; 4; 8 ])
+
+let summaries_equal (a, a_series) (b, b_series) =
+  a.logs = b.logs
+  && a.events = b.events
+  && String.equal a.metrics_json b.metrics_json
+  && a.outputs = b.outputs
+  && a.corrupt = b.corrupt
+  && a.corruptions = b.corruptions
+  && a.rounds_used = b.rounds_used
+  && a.all_honest_decided = b.all_honest_decided
+  && a.halt_rounds = b.halt_rounds
+  && String.equal a_series b_series
+
+(* Every observable of the run — per-step inbox logs, the trace event
+   stream, metrics JSON, series JSON, outputs, halt rounds — must be
+   identical when phase 1 is sharded across 2/4/8 domains. The scripted
+   protocol halts, corrupts, removes, and injects, so the differential
+   also covers the halt post-pass and the phase-2/3 interaction. *)
+let cross_jobs_equivalent plan =
+  let sequential = run_real plan in
+  List.for_all
+    (fun (_jobs, pool) -> summaries_equal sequential (run_real ~pool plan))
+    (Lazy.force intra_pools)
+
 let qcheck_tests =
   [ QCheck.Test.make ~name:"shared delivery = naive reference" ~count:300
       (QCheck.make ~print:print_plan gen_plan)
-      equivalent ]
+      equivalent;
+    QCheck.Test.make ~name:"intra-jobs {2,4,8} = sequential engine" ~count:150
+      (QCheck.make ~print:print_plan gen_plan)
+      cross_jobs_equivalent ]
 
 (* A deterministic scenario dense in edge cases: multicasts interleaved
    with unicasts to the same node (exercises the splice path), duplicate
@@ -414,9 +466,85 @@ let test_dense_scenario () =
   in
   Alcotest.(check bool) "dense scenario equivalent" true (equivalent plan)
 
+(* ------------------------------------------------------------------ *)
+(* Real-protocol cross-jobs differentials                             *)
+(* ------------------------------------------------------------------ *)
+
+(* The scripted differential covers engine mechanics; these pin the
+   claim for real protocols whose steps hit the shared crypto/mining
+   layers (memo caches, Fmine counters) from parallel chunks. Each runs
+   a seeded adversarial execution sequentially and on every pool, and
+   every observable must match. *)
+let protocol_differential (type env state msg) name
+    (proto : (env, state, msg) Engine.protocol) ~make_adv ~n ~budget ~inputs
+    ~max_rounds ~seed () =
+  let execute ?pool () =
+    let collector = Trace.collector () in
+    let series = Baobs.Series.create ~n in
+    let result =
+      Engine.run
+        ~tracer:(Trace.observe collector)
+        ~series ?pool proto ~adversary:(make_adv ()) ~n ~budget ~inputs
+        ~max_rounds ~seed
+    in
+    ( Trace.events collector,
+      Baobs.Json.to_string (Metrics.to_json result.Engine.metrics),
+      Baobs.Json.to_string (Baobs.Series.to_json series),
+      result.Engine.outputs,
+      result.Engine.halt_rounds,
+      result.Engine.corrupt,
+      result.Engine.rounds_used )
+  in
+  let sequential = execute () in
+  List.iter
+    (fun (jobs, pool) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s @ intra-jobs %d = sequential" name jobs)
+        true
+        (execute ~pool () = sequential))
+    (Lazy.force intra_pools)
+
+let test_sub_hm_differential =
+  let params = Bacore.Params.make ~lambda:12 ~max_epochs:6 () in
+  protocol_differential "sub-hm/split-vote"
+    (Bacore.Sub_hm.protocol ~params ~world:`Hybrid)
+    ~make_adv:(fun () -> Baattacks.Split_vote.sub_hm ())
+    ~n:60 ~budget:18
+    ~inputs:(Scenario.unanimous_inputs ~n:60 true)
+    ~max_rounds:36 ~seed:5L
+
+let test_sub_third_differential =
+  let params = Bacore.Params.make ~lambda:12 ~max_epochs:4 () in
+  protocol_differential "sub-third/equivocator"
+    (Bacore.Sub_third.protocol ~params ~world:`Hybrid
+       ~mode:Bacore.Sub_third.Bit_agnostic)
+    ~make_adv:(fun () -> Baattacks.Equivocator.make ())
+    ~n:60 ~budget:18
+    ~inputs:(Scenario.split_inputs ~n:60)
+    ~max_rounds:14 ~seed:6L
+
+let test_takeover_differential =
+  protocol_differential "static-committee/takeover"
+    (Babaselines.Static_committee.protocol ~committee_size:8)
+    ~make_adv:(fun () -> Baattacks.Takeover.make ~force:true ())
+    ~n:60 ~budget:16
+    ~inputs:(Scenario.unanimous_inputs ~n:60 false)
+    ~max_rounds:6 ~seed:9L
+
 let () =
   Alcotest.run "engine_perf"
     ([ ( "delivery",
          [ Alcotest.test_case "dense scripted scenario" `Quick
              test_dense_scenario ] ) ]
-    @ [ ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests) ])
+    @ [ ( "cross-jobs",
+          [ Alcotest.test_case "sub-hm split-vote" `Quick
+              test_sub_hm_differential;
+            Alcotest.test_case "sub-third equivocator" `Quick
+              test_sub_third_differential;
+            Alcotest.test_case "static-committee takeover" `Quick
+              test_takeover_differential ] ) ]
+    @ [ ( "properties",
+          List.map
+            (QCheck_alcotest.to_alcotest
+               ~rand:(Random.State.make [| 0xba51c |]))
+            qcheck_tests ) ])

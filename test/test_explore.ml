@@ -334,7 +334,11 @@ let test_report_items_shape () =
 
 let () =
   Alcotest.run "explore"
-    [ ("schedule-codec", List.map QCheck_alcotest.to_alcotest roundtrip_tests);
+    [ ( "schedule-codec",
+        List.map
+          (QCheck_alcotest.to_alcotest
+             ~rand:(Random.State.make [| 0xba004 |]))
+          roundtrip_tests );
       ( "interpreter",
         [ Alcotest.test_case "transcribed split-vote is byte-identical" `Slow
             test_transcription_equivalence ] );

@@ -218,7 +218,11 @@ let qcheck_tests =
   ]
 
 let () =
-  let qcheck = List.map QCheck_alcotest.to_alcotest qcheck_tests in
+  let qcheck =
+    List.map
+      (QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 0xba005 |]))
+      qcheck_tests
+  in
   Alcotest.run "fmine"
     [ ( "fmine",
         [ Alcotest.test_case "memoized" `Quick test_mine_memoized;

@@ -240,6 +240,73 @@ let test_pool_stats_sequential_stays_on_caller () =
           Alcotest.fail
             (Printf.sprintf "expected 1 stats row, got %d" (List.length stats)))
 
+(* --- shard ---------------------------------------------------------------- *)
+
+let test_shard_covers_range_exactly_once () =
+  (* Chunk boundaries must partition [0, n): every index hit exactly
+     once, for every pool size, including n = 0/1 and n < size. The
+     per-chunk writes land in disjoint slots, so the array needs no
+     synchronisation — the same discipline the engine's phase-1 shard
+     relies on. *)
+  List.iter
+    (fun jobs ->
+      Bapar.Pool.with_pool ~jobs (fun pool ->
+          List.iter
+            (fun n ->
+              let hits = Array.make (max n 1) 0 in
+              Bapar.Pool.shard ~pool ~n (fun ~lo ~hi ->
+                  for i = lo to hi - 1 do
+                    hits.(i) <- hits.(i) + 1
+                  done);
+              Alcotest.(check bool)
+                (Printf.sprintf "jobs %d n %d: each index exactly once" jobs n)
+                true
+                (Array.for_all (( = ) 1) (Array.sub hits 0 n)
+                && (n > 0 || hits.(0) = 0)))
+            [ 0; 1; 2; 3; 7; 64; 65 ]))
+    [ 1; 2; 3; 4; 8 ]
+
+let test_shard_exception_smallest_chunk () =
+  Bapar.Pool.with_pool ~jobs:4 (fun pool ->
+      match
+        Bapar.Pool.shard ~pool ~n:40 (fun ~lo ~hi ->
+            ignore hi;
+            raise (Boom lo))
+      with
+      | () -> Alcotest.fail "expected Boom"
+      | exception Boom lo ->
+          Alcotest.(check int) "smallest-index chunk's exception wins" 0 lo)
+
+(* --- concurrent batch submission ------------------------------------------ *)
+
+let test_concurrent_batch_submission () =
+  (* Several driver domains submit batches to ONE shared pool at once —
+     the trial-pool-workers-sharding-onto-the-intra-pool topology. Each
+     driver must get exactly its own results back, in its own order,
+     across many differently-shaped batches. *)
+  Bapar.Pool.with_pool ~jobs:4 (fun pool ->
+      let drivers =
+        Array.init 4 (fun d ->
+            Domain.spawn (fun () ->
+                let ok = ref true in
+                for batch = 1 to 25 do
+                  let xs =
+                    List.init
+                      (1 + ((d + batch) mod 7))
+                      (fun i -> (d * 1000) + (batch * 10) + i)
+                  in
+                  let got = Bapar.Pool.map ~pool (fun x -> x * 3) xs in
+                  if got <> List.map (fun x -> x * 3) xs then ok := false
+                done;
+                !ok))
+      in
+      Array.iteri
+        (fun d domain ->
+          Alcotest.(check bool)
+            (Printf.sprintf "driver %d saw only its own batch results" d)
+            true (Domain.join domain))
+        drivers)
+
 (* --- measure determinism at the Common level ------------------------------ *)
 
 let kernel s =
@@ -270,7 +337,10 @@ let test_measure_jobs_equivalence () =
     [ 2; 3; 4; 8 ]
 
 let () =
-  let qcheck = List.map QCheck_alcotest.to_alcotest in
+  let qcheck =
+    List.map
+      (QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 0xba006 |]))
+  in
   Alcotest.run "par"
     [ ( "determinism",
         qcheck
@@ -298,6 +368,14 @@ let () =
             test_pool_stats_sum_to_submitted;
           Alcotest.test_case "stats sequential on caller" `Quick
             test_pool_stats_sequential_stays_on_caller ] );
+      ( "shard",
+        [ Alcotest.test_case "chunks cover [0,n) exactly once" `Quick
+            test_shard_covers_range_exactly_once;
+          Alcotest.test_case "smallest-chunk exception wins" `Quick
+            test_shard_exception_smallest_chunk ] );
+      ( "concurrent-drivers",
+        [ Alcotest.test_case "4 domains share one pool" `Quick
+            test_concurrent_batch_submission ] );
       ( "measure",
         [ Alcotest.test_case "measure identical across jobs" `Quick
             test_measure_jobs_equivalence ] ) ]

@@ -563,4 +563,8 @@ let () =
         [ Alcotest.test_case "aggregate" `Quick test_scenario_aggregate;
           Alcotest.test_case "distinct seeds" `Quick test_scenario_distinct_seeds;
           Alcotest.test_case "input generators" `Quick test_input_generators ] );
-      ("fuzz", List.map QCheck_alcotest.to_alcotest qcheck_fuzz) ]
+      ( "fuzz",
+        List.map
+          (QCheck_alcotest.to_alcotest
+             ~rand:(Random.State.make [| 0xba007 |]))
+          qcheck_fuzz ) ]

@@ -317,7 +317,11 @@ let qcheck_tests =
   ]
 
 let () =
-  let qcheck = List.map QCheck_alcotest.to_alcotest qcheck_tests in
+  let qcheck =
+    List.map
+      (QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 0xba008 |]))
+      qcheck_tests
+  in
   Alcotest.run "stats"
     [ ( "summary",
         [ Alcotest.test_case "basic" `Quick test_summary_basic;
