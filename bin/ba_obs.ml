@@ -1,13 +1,14 @@
 (* Observability toolchain: consume what the instrumented runs emit.
 
      ba_obs report trace.jsonl              per-round/per-node analytics
+     ba_obs causal trace.jsonl              happens-before DAG, cones, taint
      ba_obs profile profile.json            probe snapshot -> Chrome trace
      ba_obs compare BENCH_A.json BENCH_B.json   bench-regression gate
      ba_obs mem resource.json               per-round memory-flatness report
 
    Exit codes: 0 clean; 1 usage, I/O, parse errors, or (compare) a
-   regression past the threshold; 2 a failed [report --check] or
-   [mem --check]. *)
+   regression past the threshold; 2 a failed [report --check],
+   [causal --check], or [mem --check]. *)
 
 open Cmdliner
 
@@ -137,6 +138,98 @@ let report_cmd =
     (Cmd.info "report" ~doc)
     Term.(const run_report $ file_arg $ format_arg $ top_arg $ check_arg
           $ rounds_arg $ output_arg)
+
+(* ---------- causal ------------------------------------------------------ *)
+
+type causal_format = C_text | C_json | C_csv | C_dot
+
+let causal_formats =
+  [ ("text", C_text); ("json", C_json); ("csv", C_csv); ("dot", C_dot) ]
+
+let run_causal file format top n_override chk chrome output =
+  guarded (fun () ->
+      let causal =
+        Baobs_report.Causal.of_jsonl_string ?n:n_override (read_file file)
+      in
+      let rendered =
+        match format with
+        | C_text -> Baobs_report.Causal.to_text ~top causal
+        | C_json ->
+            Baobs.Json.to_string (Baobs_report.Causal.to_json causal) ^ "\n"
+        | C_csv -> Baobs_report.Causal.to_csv causal
+        | C_dot -> Baobs_report.Causal.to_dot causal
+      in
+      write_out output rendered;
+      (match chrome with
+      | Some path ->
+          write_out (Some path)
+            (Baobs.Json.to_string (Baobs_report.Causal.to_chrome causal) ^ "\n")
+      | None -> ());
+      if not chk then 0
+      else
+        match Baobs_report.Causal.check causal with
+        | Ok () ->
+            prerr_endline "ba_obs: causal check ok";
+            0
+        | Error errors ->
+            List.iter
+              (fun e -> prerr_endline ("ba_obs: causal check: " ^ e))
+              errors;
+            2)
+
+let causal_format_arg =
+  Arg.(
+    value
+    & opt (enum causal_formats) C_text
+    & info [ "format" ] ~docv:"FMT"
+        ~doc:"Output format: text, json (ba-causal/v1), csv, or dot.")
+
+let causal_top_arg =
+  Arg.(
+    value & opt int 10
+    & info [ "top" ] ~docv:"K"
+        ~doc:
+          "How many decisions to list in the text format (highest tainted \
+           fraction first).")
+
+let causal_n_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "n" ] ~docv:"N"
+        ~doc:
+          "Node count (default: the smallest count consistent with the \
+           trace).")
+
+let causal_check_arg =
+  Arg.(
+    value & flag
+    & info [ "check" ]
+        ~doc:
+          "Self-verify the analysis — DAG round-stratification, flow-matrix \
+           sums against independently computed Definition-7 totals, \
+           per-decision cone/taint/critical-path invariants — and exit 2 on \
+           any mismatch.")
+
+let chrome_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "chrome" ] ~docv:"FILE"
+        ~doc:
+          "Also write a Chrome trace_event document with per-message flow \
+           arrows to $(docv) (load in ui.perfetto.dev).")
+
+let causal_cmd =
+  let doc =
+    "Reconstruct the happens-before DAG of a traced execution: per-decision \
+     causal cones, critical paths, a per-kind flow matrix, and \
+     adversary-influence (taint) attribution"
+  in
+  Cmd.v
+    (Cmd.info "causal" ~doc)
+    Term.(const run_causal $ file_arg $ causal_format_arg $ causal_top_arg
+          $ causal_n_arg $ causal_check_arg $ chrome_arg $ output_arg)
 
 (* ---------- profile ----------------------------------------------------- *)
 
@@ -317,6 +410,6 @@ let compare_cmd =
 let cmd =
   let doc = "Analyze traces, profiles, and bench reports from the BA harness" in
   Cmd.group (Cmd.info "ba_obs" ~doc)
-    [ report_cmd; profile_cmd; compare_cmd; mem_cmd ]
+    [ report_cmd; causal_cmd; profile_cmd; compare_cmd; mem_cmd ]
 
 let () = exit (Cmd.eval' cmd)

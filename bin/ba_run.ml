@@ -45,6 +45,7 @@ type adv_choice =
   | A_split
   | A_equivocator
   | A_cm_equivocator
+  | A_takeover
 
 let adversaries =
   [ ("none", A_none);
@@ -52,7 +53,8 @@ let adversaries =
     ("silencer", A_silencer);
     ("split-vote", A_split);
     ("equivocator", A_equivocator);
-    ("cm-equivocator", A_cm_equivocator) ]
+    ("cm-equivocator", A_cm_equivocator);
+    ("takeover", A_takeover) ]
 
 type inputs_choice = I_zero | I_one | I_split | I_random
 
@@ -105,9 +107,14 @@ let print_rates ~label (rates : Baexperiments.Common.rates) =
    engine, adversary, and printer together. *)
 let dispatch proto adv ~n ~budget ~lambda ~epochs ~inputs_choice ~seed ~reps
     ~jobs ~trace ~trace_jsonl ~metrics_json ~profile_json ~resource_json
-    ~timings ~check_trace ~lenient_caps =
+    ~causal ~causal_json ~timings ~check_trace ~lenient_caps =
+  (* --causal-json implies causal recording (message ids, kind labels,
+     explicit recipient lists in the trace). *)
+  let causal = causal || causal_json <> None in
   let collector =
-    if trace || check_trace then Some (Trace.collector ()) else None
+    if trace || check_trace || causal_json <> None then
+      Some (Trace.collector ())
+    else None
   in
   let jsonl =
     Option.map
@@ -207,7 +214,7 @@ let dispatch proto adv ~n ~budget ~lambda ~epochs ~inputs_choice ~seed ~reps
         Ok (fun () -> Engine.passive ~name:"none" ~model:Corruption.Adaptive)
     | A_eraser -> Ok (fun () -> Baattacks.Eraser.make ())
     | A_silencer -> Ok (fun () -> Baattacks.Eraser.silencer ())
-    | A_split | A_equivocator | A_cm_equivocator ->
+    | A_split | A_equivocator | A_cm_equivocator | A_takeover ->
         Error "this adversary only targets specific protocols"
   in
   let on_caps_mismatch = if lenient_caps then `Warn else `Refuse in
@@ -228,11 +235,13 @@ let dispatch proto adv ~n ~budget ~lambda ~epochs ~inputs_choice ~seed ~reps
           if Bacheck.Report.emit_text ~tool:"check-trace" items then 3 else 0
   in
   let run_sweep proto_rec label make_adv =
-    if trace || check_trace || trace_jsonl <> None || resource_json <> None
+    if
+      trace || check_trace || causal || trace_jsonl <> None
+      || resource_json <> None
     then begin
       prerr_endline
-        "ba_run: --trace/--trace-jsonl/--check-trace/--resource-json observe \
-         a single execution; drop them or use --reps 1";
+        "ba_run: --trace/--trace-jsonl/--check-trace/--causal/--causal-json/\
+         --resource-json observe a single execution; drop them or use --reps 1";
       1
     end
     else begin
@@ -275,45 +284,78 @@ let dispatch proto adv ~n ~budget ~lambda ~epochs ~inputs_choice ~seed ~reps
       else 2
     end
   in
-  let run_proto proto_rec label make_adv =
+  let run_proto ~labeler proto_rec label make_adv =
     if reps > 1 then run_sweep proto_rec label make_adv
     else begin
       let adversary = make_adv () in
+      let labeler = if causal then Some labeler else None in
       let result =
-        Engine.run ~tracer ?series ?resource ~on_caps_mismatch proto_rec
-          ~adversary ~n ~budget ~inputs ~max_rounds ~seed:seed64
+        Engine.run ~tracer ?series ?resource ?labeler ~on_caps_mismatch
+          proto_rec ~adversary ~n ~budget ~inputs ~max_rounds ~seed:seed64
       in
       print_trace ();
       finish ~label result;
+      (match (causal_json, collector) with
+      | Some path, Some c ->
+          let analysis = Baobs_report.Causal.of_events ~n (Trace.events c) in
+          let oc = open_out path in
+          output_string oc
+            (Baobs.Json.to_string (Baobs_report.Causal.to_json analysis));
+          output_char oc '\n';
+          close_out oc
+      | (Some _ | None), (Some _ | None) -> ());
       let check_code = run_check_trace adversary result in
       let verdict_code = print_result ~label ~inputs result in
       if check_code <> 0 then check_code else verdict_code
     end
   in
-  let run_generic proto_rec label =
+  let run_generic ~labeler proto_rec label =
     match generic_adv () with
     | Error e ->
         prerr_endline e;
         1
-    | Ok adversary -> run_proto proto_rec label adversary
+    | Ok adversary -> run_proto ~labeler proto_rec label adversary
   in
   match proto with
-  | P_warmup -> run_generic (Warmup_third.protocol ~params) "warmup-third"
-  | P_quadratic -> run_generic (Quadratic_hm.protocol ()) "quadratic-hm"
+  | P_warmup ->
+      run_generic ~labeler:Warmup_third.msg_kind
+        (Warmup_third.protocol ~params) "warmup-third"
+  | P_quadratic ->
+      run_generic ~labeler:Quadratic_hm.msg_kind (Quadratic_hm.protocol ())
+        "quadratic-hm"
   | P_dolev_strong ->
-      run_generic
+      run_generic ~labeler:Babaselines.Dolev_strong.msg_kind
         (Babaselines.Dolev_strong.protocol ~sender:0 ~f:((n - 1) / 3))
         "dolev-strong"
   | P_static_committee ->
-      run_generic
-        (Babaselines.Static_committee.protocol ~committee_size:lambda)
-        "static-committee"
+      let proto_rec =
+        Babaselines.Static_committee.protocol ~committee_size:lambda
+      in
+      let adversary =
+        match adv with
+        | A_none ->
+            Ok (fun () -> Engine.passive ~name:"none" ~model:Corruption.Adaptive)
+        | A_eraser -> Ok (fun () -> Baattacks.Eraser.make ())
+        | A_silencer -> Ok (fun () -> Baattacks.Eraser.silencer ())
+        | A_takeover -> Ok (fun () -> Baattacks.Takeover.make ~force:true ())
+        | A_split | A_equivocator | A_cm_equivocator ->
+            Error "use takeover against static-committee"
+      in
+      (match adversary with
+      | Error e ->
+          prerr_endline e;
+          1
+      | Ok adversary ->
+          run_proto ~labeler:Babaselines.Static_committee.msg_kind proto_rec
+            "static-committee" adversary)
   | P_nakamoto ->
-      run_generic
+      run_generic ~labeler:Babaselines.Nakamoto.msg_kind
         (Babaselines.Nakamoto.protocol ~p:0.01 ~confirmations:6)
         "nakamoto"
   | P_sparse_relay ->
-      run_generic (Babaselines.Sparse_relay.protocol ~d:3) "sparse-relay"
+      run_generic ~labeler:Babaselines.Sparse_relay.msg_kind
+        (Babaselines.Sparse_relay.protocol ~d:3)
+        "sparse-relay"
   | P_chen_micali | P_chen_micali_no_erasure ->
       let erasure = proto = P_chen_micali in
       let proto_rec = Babaselines.Chen_micali.protocol ~params ~erasure in
@@ -324,7 +366,7 @@ let dispatch proto adv ~n ~budget ~lambda ~epochs ~inputs_choice ~seed ~reps
         | A_eraser -> Ok (fun () -> Baattacks.Eraser.make ())
         | A_silencer -> Ok (fun () -> Baattacks.Eraser.silencer ())
         | A_cm_equivocator -> Ok (fun () -> Baattacks.Cm_equivocator.make ())
-        | A_split | A_equivocator ->
+        | A_split | A_equivocator | A_takeover ->
             Error "use cm-equivocator against chen-micali"
       in
       (match adversary with
@@ -332,7 +374,7 @@ let dispatch proto adv ~n ~budget ~lambda ~epochs ~inputs_choice ~seed ~reps
           prerr_endline e;
           1
       | Ok adversary ->
-          run_proto proto_rec
+          run_proto ~labeler:Babaselines.Chen_micali.msg_kind proto_rec
             (if erasure then "chen-micali" else "chen-micali-no-erasure")
             adversary)
   | P_sub_third | P_sub_third_agnostic ->
@@ -350,13 +392,15 @@ let dispatch proto adv ~n ~budget ~lambda ~epochs ~inputs_choice ~seed ~reps
         | A_silencer -> Ok (fun () -> Baattacks.Eraser.silencer ())
         | A_split -> Ok (fun () -> Baattacks.Split_vote.sub_third ())
         | A_equivocator -> Ok (fun () -> Baattacks.Equivocator.make ())
-        | A_cm_equivocator -> Error "cm-equivocator targets chen-micali"
+        | A_cm_equivocator | A_takeover ->
+            Error "cm-equivocator/takeover target other protocols"
       in
       (match adversary with
       | Error e ->
           prerr_endline e;
           1
-      | Ok adversary -> run_proto proto_rec "sub-third" adversary)
+      | Ok adversary ->
+          run_proto ~labeler:Sub_third.msg_kind proto_rec "sub-third" adversary)
   | P_sub_hm | P_sub_hm_real ->
       let world = match proto with P_sub_hm -> `Hybrid | _ -> `Real in
       let proto_rec = Sub_hm.protocol ~params ~world in
@@ -367,14 +411,15 @@ let dispatch proto adv ~n ~budget ~lambda ~epochs ~inputs_choice ~seed ~reps
         | A_eraser -> Ok (fun () -> Baattacks.Eraser.make ())
         | A_silencer -> Ok (fun () -> Baattacks.Eraser.silencer ())
         | A_split -> Ok (fun () -> Baattacks.Split_vote.sub_hm ())
-        | A_equivocator | A_cm_equivocator ->
-            Error "the equivocators target sub-third / chen-micali"
+        | A_equivocator | A_cm_equivocator | A_takeover ->
+            Error "the equivocators/takeover target other protocols"
       in
       (match adversary with
       | Error e ->
           prerr_endline e;
           1
-      | Ok adversary -> run_proto proto_rec "sub-hm" adversary)
+      | Ok adversary ->
+          run_proto ~labeler:Sub_hm.msg_kind proto_rec "sub-hm" adversary)
 
 let proto_arg =
   Arg.(
@@ -479,6 +524,27 @@ let resource_json_arg =
            words, collections, heap size) and write the ba-resource/v1 \
            report to $(docv) after the run; analyze it with ba_obs mem.")
 
+let causal_arg =
+  Arg.(
+    value & flag
+    & info [ "causal" ]
+        ~doc:
+          "Record causal fields in the trace: stable per-run message ids, \
+           protocol kind labels, and explicit recipient lists for targeted \
+           sends. Analyze the resulting --trace-jsonl file with ba_obs \
+           causal. Without this flag the trace is byte-identical to the \
+           legacy format.")
+
+let causal_json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "causal-json" ] ~docv:"FILE"
+        ~doc:
+          "Run the causal analysis (happens-before cones, critical paths, \
+           flow matrix, taint attribution) after the run and write the \
+           ba-causal/v1 document to $(docv). Implies --causal.")
+
 let timings_arg =
   Arg.(
     value & flag
@@ -506,8 +572,8 @@ let lenient_caps_arg =
            or budget.")
 
 let main proto adv n budget lambda epochs inputs_choice seed reps jobs
-    intra_jobs trace trace_jsonl metrics_json profile_json resource_json
-    timings check_trace lenient_caps =
+    intra_jobs trace trace_jsonl metrics_json profile_json resource_json causal
+    causal_json timings check_trace lenient_caps =
   (match intra_jobs with
   | Some j when j >= 1 -> Engine.set_intra_jobs j
   | Some j ->
@@ -530,7 +596,8 @@ let main proto adv n budget lambda epochs inputs_choice seed reps jobs
       [ ("--trace-jsonl", trace_jsonl);
         ("--metrics-json", metrics_json);
         ("--profile-json", profile_json);
-        ("--resource-json", resource_json) ]
+        ("--resource-json", resource_json);
+        ("--causal-json", causal_json) ]
   in
   if path_errors <> [] then begin
     List.iter (fun e -> prerr_endline ("ba_run: " ^ e)) path_errors;
@@ -540,7 +607,7 @@ let main proto adv n budget lambda epochs inputs_choice seed reps jobs
     try
       dispatch proto adv ~n ~budget ~lambda ~epochs ~inputs_choice ~seed ~reps
         ~jobs ~trace ~trace_jsonl ~metrics_json ~profile_json ~resource_json
-        ~timings ~check_trace ~lenient_caps
+        ~causal ~causal_json ~timings ~check_trace ~lenient_caps
     with Sys_error e ->
       (* e.g. a destination that became unwritable mid-run *)
       prerr_endline ("ba_run: " ^ e);
@@ -554,7 +621,7 @@ let cmd =
       const main $ proto_arg $ adv_arg $ n_arg $ budget_arg $ lambda_arg
       $ epochs_arg $ inputs_arg $ seed_arg $ reps_arg $ jobs_arg
       $ intra_jobs_arg $ trace_arg $ trace_jsonl_arg $ metrics_json_arg
-      $ profile_json_arg $ resource_json_arg $ timings_arg $ check_trace_arg
-      $ lenient_caps_arg)
+      $ profile_json_arg $ resource_json_arg $ causal_arg $ causal_json_arg
+      $ timings_arg $ check_trace_arg $ lenient_caps_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -19,6 +19,8 @@ type msg =
       fs_sig : Bacrypto.Forward_secure.tag;
     }
 
+let msg_kind = function Propose _ -> "propose" | Ack _ -> "ack"
+
 module Iset = Set.Make (Int)
 
 type state = {

@@ -46,6 +46,9 @@ type msg =
       fs_sig : Bacrypto.Forward_secure.tag;   (** slot-[epoch] signature on the bit *)
     }
 
+val msg_kind : msg -> string
+(** Stable kind label for causal tracing: ["propose"] or ["ack"]. *)
+
 type state
 
 val protocol :

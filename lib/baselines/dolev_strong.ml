@@ -4,6 +4,10 @@ type env = { n : int; f : int; sigs : Signature.scheme }
 
 type msg = { bit : bool; chain : (int * Signature.tag) list }
 
+(* Every Dolev-Strong message is a signature-chain relay; the chain
+   length distinguishes the designated sender's opener from forwards. *)
+let msg_kind m = if List.length m.chain <= 1 then "propose" else "relay"
+
 module Iset = Set.Make (Int)
 
 type state = {

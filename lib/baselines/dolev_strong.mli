@@ -30,6 +30,10 @@ type msg = {
       (** signature chain, sender first *)
 }
 
+val msg_kind : msg -> string
+(** Stable kind label for causal tracing: ["propose"] for the designated
+    sender's chain-of-one opener, ["relay"] for longer chains. *)
+
 type state
 
 val protocol :

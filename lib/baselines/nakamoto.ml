@@ -4,6 +4,8 @@ type env = { n : int; p : float; confirmations : int }
 
 type msg = Chain of block list
 
+let msg_kind (Chain _) = "chain"
+
 type state = {
   me : int;
   input : bool;

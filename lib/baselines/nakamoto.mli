@@ -34,6 +34,9 @@ type env = {
 type msg = Chain of block list
 (** Highest block first. *)
 
+val msg_kind : msg -> string
+(** Stable kind label for causal tracing: always ["chain"]. *)
+
 type state
 
 val protocol :

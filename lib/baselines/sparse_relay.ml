@@ -2,6 +2,8 @@ type env = { n : int; d : int; deadline : int }
 
 type msg = Payload of bool
 
+let msg_kind (Payload _) = "payload"
+
 type state = {
   me : int;
   input : bool;

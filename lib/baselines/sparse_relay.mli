@@ -26,6 +26,9 @@ type env = {
 
 type msg = Payload of bool
 
+val msg_kind : msg -> string
+(** Stable kind label for causal tracing: always ["payload"]. *)
+
 type state
 
 val protocol : d:int -> (env, state, msg) Basim.Engine.protocol

@@ -6,6 +6,10 @@ type msg =
   | Committee_vote of { bit : bool; tag : Signature.tag }
   | Result of { bit : bool; tag : Signature.tag }
 
+let msg_kind = function
+  | Committee_vote _ -> "committee_vote"
+  | Result _ -> "result"
+
 type state = {
   me : int;
   input : bool;

@@ -25,6 +25,10 @@ type msg =
   | Committee_vote of { bit : bool; tag : Bacrypto.Signature.tag }
   | Result of { bit : bool; tag : Bacrypto.Signature.tag }
 
+val msg_kind : msg -> string
+(** Stable kind label for causal tracing: ["committee_vote"] or
+    ["result"]. *)
+
 type state
 
 val protocol :

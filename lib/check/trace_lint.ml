@@ -146,7 +146,7 @@ let observe st ~model ~budget event =
             (Printf.sprintf "%d nodes corrupted, budget is %d" st.corruptions
                budget)
       end
-  | Trace.Removed { round; victim; multicast; recipients; bits } ->
+  | Trace.Removed { round; victim; multicast; recipients; bits; _ } ->
       check_event_round st ~round ~node:(Some victim) "removal";
       if not (Corruption.allows_removal model) then
         report st Removal_without_model ~round ~node:(Some victim)
@@ -166,11 +166,11 @@ let observe st ~model ~budget event =
             (Printf.sprintf "victim %d is honest" victim));
       st.removals <- st.removals + 1;
       account st ~multicast ~recipients ~bits
-  | Trace.Sent { round; node; multicast; recipients; bits } ->
+  | Trace.Sent { round; node; multicast; recipients; bits; _ } ->
       check_event_round st ~round ~node:(Some node) "send";
       check_send st ~round ~node ~label:"send";
       account st ~multicast ~recipients ~bits
-  | Trace.Injected { round; src; recipients = _ } ->
+  | Trace.Injected { round; src; _ } ->
       check_event_round st ~round ~node:(Some src) "injection";
       (match Hashtbl.find_opt st.corrupt src with
       | Some rc when rc <= round -> ()

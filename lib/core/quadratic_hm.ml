@@ -31,6 +31,13 @@ type msg =
       tag : Signature.tag;
     }
 
+let msg_kind = function
+  | Status _ -> "status"
+  | Propose _ -> "propose"
+  | Vote _ -> "vote"
+  | Commit _ -> "commit"
+  | Terminate _ -> "terminate"
+
 type env = {
   n : int;
   f : int;

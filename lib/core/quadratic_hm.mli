@@ -67,6 +67,10 @@ type msg =
       tag : Bacrypto.Signature.tag;
     }
 
+val msg_kind : msg -> string
+(** Stable kind label for causal tracing: ["status"], ["propose"],
+    ["vote"], ["commit"], or ["terminate"]. *)
+
 type env = {
   n : int;
   f : int;                      (** (n−1)/2 *)

@@ -37,6 +37,13 @@ type msg =
       cred : Eligibility.credential;
     }
 
+let msg_kind = function
+  | Status _ -> "status"
+  | Propose _ -> "propose"
+  | Vote _ -> "vote"
+  | Commit _ -> "commit"
+  | Terminate _ -> "terminate"
+
 type env = {
   n : int;
   params : Params.t;

@@ -68,6 +68,10 @@ type msg =
       cred : Bafmine.Eligibility.credential;
     }
 
+val msg_kind : msg -> string
+(** Stable kind label for causal tracing: ["status"], ["propose"],
+    ["vote"], ["commit"], or ["terminate"]. *)
+
 type env = {
   n : int;
   params : Params.t;

@@ -16,6 +16,8 @@ type msg =
   | Propose of { epoch : int; bit : bool; cred : Bafmine.Eligibility.credential }
   | Ack of { epoch : int; bit : bool; cred : Bafmine.Eligibility.credential }
 
+let msg_kind = function Propose _ -> "propose" | Ack _ -> "ack"
+
 module Iset = Set.Make (Int)
 
 type state = {

@@ -53,6 +53,10 @@ type msg =
   | Propose of { epoch : int; bit : bool; cred : Bafmine.Eligibility.credential }
   | Ack of { epoch : int; bit : bool; cred : Bafmine.Eligibility.credential }
 
+val msg_kind : msg -> string
+(** Stable kind label for causal tracing ({!Basim.Engine.run}'s
+    [?labeler]): ["propose"] or ["ack"]. *)
+
 type state
 
 val protocol :

@@ -6,6 +6,8 @@ type msg =
   | Propose of { epoch : int; bit : bool; tag : Signature.tag }
   | Ack of { epoch : int; bit : bool; tag : Signature.tag }
 
+let msg_kind = function Propose _ -> "propose" | Ack _ -> "ack"
+
 module Iset = Set.Make (Int)
 
 type state = {

@@ -30,6 +30,9 @@ type msg =
   | Propose of { epoch : int; bit : bool; tag : Bacrypto.Signature.tag }
   | Ack of { epoch : int; bit : bool; tag : Bacrypto.Signature.tag }
 
+val msg_kind : msg -> string
+(** Stable kind label for causal tracing: ["propose"] or ["ack"]. *)
+
 type state
 
 val protocol : params:Params.t -> (env, state, msg) Basim.Engine.protocol

@@ -87,13 +87,13 @@ let of_events ?rounds events =
     in
     match event with
     | Trace.Round_started _ -> ()
-    | Trace.Sent { round; node; multicast; recipients; bits } ->
+    | Trace.Sent { round; node; multicast; recipients; bits; _ } ->
         honest_send ~round ~node:(Some node) ~multicast ~recipients ~bits
-    | Trace.Removed { round; victim; multicast; recipients; bits } ->
+    | Trace.Removed { round; victim; multicast; recipients; bits; _ } ->
         (* Definition 7: the erased send still counts for its sender. *)
         honest_send ~round ~node:(Some victim) ~multicast ~recipients ~bits;
         tally round (Some victim) (fun c -> c.removals <- c.removals + 1)
-    | Trace.Injected { round; src; recipients = _ } ->
+    | Trace.Injected { round; src; _ } ->
         tally round (Some src) (fun c -> c.injections <- c.injections + 1)
     | Trace.Corrupted { round; node } ->
         tally round (Some node) (fun c -> c.corruptions <- c.corruptions + 1)

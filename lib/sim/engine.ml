@@ -63,12 +63,16 @@ type result = {
 
 (* A pending delivery: sender, destination, payload, its wire size
    (computed once at creation — [msg_bits] is never re-evaluated for the
-   same wire), and whether the adversary has erased it. *)
+   same wire), whether the adversary has erased it, and — under causal
+   recording — a per-run id and protocol kind label ([-1]/[""] when the
+   run has no labeler, so unlabeled traces stay byte-identical). *)
 type 'msg wire = {
   w_src : int;
   w_dst : dest;
   w_payload : 'msg;
   w_bits : int;
+  w_id : int;
+  w_kind : string;
   mutable erased : bool;
   honest_origin : bool;
 }
@@ -164,10 +168,33 @@ let intra_pool () =
             Some p)
 
 let run_env ?(tracer = fun (_ : Trace.event) -> ()) ?series ?resource
-    ?(on_caps_mismatch = `Refuse) ?pool proto ~adversary ~n ~budget ~inputs
-    ~max_rounds ~seed =
+    ?(on_caps_mismatch = `Refuse) ?labeler ?pool proto ~adversary ~n ~budget
+    ~inputs ~max_rounds ~seed =
   if Array.length inputs <> n then
     invalid_arg "Engine.run: inputs length must equal n";
+  (* Causal recording: with a labeler, every wire gets a fresh per-run id
+     (creation order: a round's honest wires in ascending node order,
+     then its injections in application order) and a protocol kind
+     label, and targeted sends record their recipient lists. Without
+     one, the sentinels keep traces byte-identical to the legacy
+     format. *)
+  let next_msg_id = ref 0 in
+  let fresh_id () =
+    match labeler with
+    | None -> Trace.no_id
+    | Some _ ->
+        let id = !next_msg_id in
+        incr next_msg_id;
+        id
+  in
+  let kind_of_msg m =
+    match labeler with None -> Trace.no_kind | Some f -> f m
+  in
+  let targets_of dst =
+    match (labeler, dst) with
+    | None, _ | Some _, All -> []
+    | Some _, Only targets -> targets
+  in
   (* Resource rows bracket whole phases and read only GC counters, so
      they can never perturb the execution or its trace. *)
   let res_begin () =
@@ -330,6 +357,8 @@ let run_env ?(tracer = fun (_ : Trace.event) -> ()) ?series ?resource
               w_dst = send.dst;
               w_payload = send.payload;
               w_bits = proto.msg_bits env send.payload;
+              w_id = fresh_id ();
+              w_kind = kind_of_msg send.payload;
               erased = false;
               honest_origin = true })
         intents.(i)
@@ -417,7 +446,10 @@ let run_env ?(tracer = fun (_ : Trace.event) -> ()) ?series ?resource
                    (match w.w_dst with
                    | All -> n
                    | Only targets -> List.length targets);
-                 bits = w.w_bits })
+                 bits = w.w_bits;
+                 id = w.w_id;
+                 kind = w.w_kind;
+                 targets = targets_of w.w_dst })
       | Inject { src; dst; payload } ->
           if src < 0 || src >= n then illegal "inject src out of range: %d" src;
           if not (Corruption.is_corrupt tracker src) then
@@ -427,15 +459,21 @@ let run_env ?(tracer = fun (_ : Trace.event) -> ()) ?series ?resource
           Metrics.record_injection metrics ~bits;
           srec ~round:r ~node:src Baobs.Series.Injection 1;
           srec ~round:r ~node:src Baobs.Series.Injection_bits bits;
+          let id = fresh_id () in
+          let kind = kind_of_msg payload in
           tracer
             (Trace.Injected
                { round = r;
                  src;
                  recipients =
-                   (match dst with All -> n | Only targets -> List.length targets) });
+                   (match dst with All -> n | Only targets -> List.length targets);
+                 bits = (match labeler with None -> -1 | Some _ -> bits);
+                 id;
+                 kind;
+                 targets = targets_of dst });
           injections :=
             { w_src = src; w_dst = dst; w_payload = payload; w_bits = bits;
-              erased = false; honest_origin = false }
+              w_id = id; w_kind = kind; erased = false; honest_origin = false }
             :: !injections
     in
     List.iter apply (adversary.intervene view);
@@ -474,7 +512,10 @@ let run_env ?(tracer = fun (_ : Trace.event) -> ()) ?series ?resource
                    (match w.w_dst with
                    | All -> n
                    | Only targets -> List.length targets);
-                 bits })
+                 bits;
+                 id = w.w_id;
+                 kind = w.w_kind;
+                 targets = targets_of w.w_dst })
       end
     done;
     (* Delivery with structural sharing. Inbox order is [injections in
@@ -551,8 +592,8 @@ let run_env ?(tracer = fun (_ : Trace.event) -> ()) ?series ?resource
       all_honest_decided;
       halt_rounds } )
 
-let run ?tracer ?series ?resource ?on_caps_mismatch ?pool proto ~adversary ~n
-    ~budget ~inputs ~max_rounds ~seed =
+let run ?tracer ?series ?resource ?on_caps_mismatch ?labeler ?pool proto
+    ~adversary ~n ~budget ~inputs ~max_rounds ~seed =
   snd
-    (run_env ?tracer ?series ?resource ?on_caps_mismatch ?pool proto ~adversary
-       ~n ~budget ~inputs ~max_rounds ~seed)
+    (run_env ?tracer ?series ?resource ?on_caps_mismatch ?labeler ?pool proto
+       ~adversary ~n ~budget ~inputs ~max_rounds ~seed)

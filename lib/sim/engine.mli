@@ -158,6 +158,7 @@ val run :
   ?series:Baobs.Series.t ->
   ?resource:Baobs.Resource.t ->
   ?on_caps_mismatch:[ `Refuse | `Warn ] ->
+  ?labeler:('msg -> string) ->
   ?pool:Bapar.Pool.t ->
   ('env, 'state, 'msg) protocol ->
   adversary:('env, 'msg) adversary ->
@@ -207,6 +208,19 @@ val run :
     Sampling only reads GC counters, so enabling it cannot perturb the
     execution: the trace is byte-identical with recording on or off.
 
+    {b Causal recording.} [labeler], when given, switches the trace into
+    causal-recording mode: every wire (honest send, injection) is
+    assigned a stable per-run message id in creation order, labeled with
+    [labeler payload], and targeted sends record their explicit recipient
+    list — filling the [id]/[kind]/[targets] fields of
+    {!Trace.Sent}/[Removed]/[Injected] that {!Baobs_report.Causal} needs
+    for exact happens-before reconstruction. Without a labeler those
+    fields hold the {!Trace.no_id}/{!Trace.no_kind}/[[]] sentinels and
+    are omitted from the JSON codec, so the emitted trace is
+    byte-identical to the legacy format: causal recording off has zero
+    observable effect. The labeler must be pure (evaluated once per
+    wire).
+
     [on_caps_mismatch] (default [`Refuse]) governs what happens when the
     adversary's declared {!Capability.decl} is inconsistent with its
     model ({!Capability.validate}): [`Refuse] raises {!Illegal_action}
@@ -221,6 +235,7 @@ val run_env :
   ?series:Baobs.Series.t ->
   ?resource:Baobs.Resource.t ->
   ?on_caps_mismatch:[ `Refuse | `Warn ] ->
+  ?labeler:('msg -> string) ->
   ?pool:Bapar.Pool.t ->
   ('env, 'state, 'msg) protocol ->
   adversary:('env, 'msg) adversary ->

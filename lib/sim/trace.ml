@@ -1,32 +1,61 @@
 type event =
   | Round_started of { round : int }
   | Sent of
-      { round : int; node : int; multicast : bool; recipients : int; bits : int }
+      { round : int;
+        node : int;
+        multicast : bool;
+        recipients : int;
+        bits : int;
+        id : int;
+        kind : string;
+        targets : int list }
   | Corrupted of { round : int; node : int }
   | Removed of
       { round : int;
         victim : int;
         multicast : bool;
         recipients : int;
-        bits : int }
-  | Injected of { round : int; src : int; recipients : int }
+        bits : int;
+        id : int;
+        kind : string;
+        targets : int list }
+  | Injected of
+      { round : int;
+        src : int;
+        recipients : int;
+        bits : int;
+        id : int;
+        kind : string;
+        targets : int list }
   | Halted of { round : int; node : int; output : bool option }
+
+let no_id = -1
+
+let no_kind = ""
+
+let pp_kind fmt kind =
+  if kind <> no_kind then Format.fprintf fmt " [%s]" kind
 
 let pp_event fmt = function
   | Round_started { round } -> Format.fprintf fmt "-- round %d --" round
-  | Sent { node; multicast; recipients; bits; _ } ->
-      if multicast then Format.fprintf fmt "node %d multicasts (%d bits)" node bits
-      else Format.fprintf fmt "node %d sends to %d nodes (%d bits)" node recipients bits
+  | Sent { node; multicast; recipients; bits; kind; _ } ->
+      if multicast then
+        Format.fprintf fmt "node %d multicasts%a (%d bits)" node pp_kind kind
+          bits
+      else
+        Format.fprintf fmt "node %d sends%a to %d nodes (%d bits)" node pp_kind
+          kind recipients bits
   | Corrupted { round; node } ->
       if round < 0 then Format.fprintf fmt "node %d corrupted at setup" node
       else Format.fprintf fmt "node %d corrupted" node
-  | Removed { victim; multicast; recipients; bits; _ } ->
+  | Removed { victim; multicast; recipients; bits; kind; _ } ->
       Format.fprintf fmt
-        "a %s of node %d to %d nodes (%d bits) erased after the fact"
+        "a %s%a of node %d to %d nodes (%d bits) erased after the fact"
         (if multicast then "multicast" else "message")
-        victim recipients bits
-  | Injected { src; recipients; _ } ->
-      Format.fprintf fmt "adversary sends as node %d to %d nodes" src recipients
+        pp_kind kind victim recipients bits
+  | Injected { src; recipients; kind; _ } ->
+      Format.fprintf fmt "adversary sends%a as node %d to %d nodes" pp_kind
+        kind src recipients
   | Halted { node; output; _ } ->
       Format.fprintf fmt "node %d halts with output %s" node
         (match output with
@@ -51,30 +80,57 @@ let kind_of = function
   | Injected _ -> "injected"
   | Halted _ -> "halted"
 
+let message_id = function
+  | Sent { id; _ } | Removed { id; _ } | Injected { id; _ } -> Some id
+  | Round_started _ | Corrupted _ | Halted _ -> None
+
+let message_kind = function
+  | Sent { kind; _ } | Removed { kind; _ } | Injected { kind; _ } -> Some kind
+  | Round_started _ | Corrupted _ | Halted _ -> None
+
+(* Causal fields are appended only when present, so a run without causal
+   recording serializes byte-identically to the legacy (pre-causal)
+   format — the contract CI pins with cmp. *)
+let causal_fields ~id ~kind ~targets =
+  let open Baobs.Json in
+  (if id = no_id then [] else [ ("id", Int id) ])
+  @ (if kind = no_kind then [] else [ ("kind", String kind) ])
+  @
+  match targets with
+  | [] -> []
+  | ts -> [ ("targets", List (List.map (fun t -> Int t) ts)) ]
+
 let to_json event =
   let open Baobs.Json in
   let tagged fields = Obj (("event", String (kind_of event)) :: fields) in
   match event with
   | Round_started { round } -> tagged [ ("round", Int round) ]
-  | Sent { round; node; multicast; recipients; bits } ->
+  | Sent { round; node; multicast; recipients; bits; id; kind; targets } ->
       tagged
-        [ ("round", Int round);
-          ("node", Int node);
-          ("multicast", Bool multicast);
-          ("recipients", Int recipients);
-          ("bits", Int bits) ]
+        ([ ("round", Int round);
+           ("node", Int node);
+           ("multicast", Bool multicast);
+           ("recipients", Int recipients);
+           ("bits", Int bits) ]
+        @ causal_fields ~id ~kind ~targets)
   | Corrupted { round; node } ->
       tagged [ ("round", Int round); ("node", Int node) ]
-  | Removed { round; victim; multicast; recipients; bits } ->
+  | Removed { round; victim; multicast; recipients; bits; id; kind; targets }
+    ->
       tagged
-        [ ("round", Int round);
-          ("victim", Int victim);
-          ("multicast", Bool multicast);
-          ("recipients", Int recipients);
-          ("bits", Int bits) ]
-  | Injected { round; src; recipients } ->
+        ([ ("round", Int round);
+           ("victim", Int victim);
+           ("multicast", Bool multicast);
+           ("recipients", Int recipients);
+           ("bits", Int bits) ]
+        @ causal_fields ~id ~kind ~targets)
+  | Injected { round; src; recipients; bits; id; kind; targets } ->
       tagged
-        [ ("round", Int round); ("src", Int src); ("recipients", Int recipients) ]
+        ([ ("round", Int round);
+           ("src", Int src);
+           ("recipients", Int recipients) ]
+        @ (if bits < 0 then [] else [ ("bits", Baobs.Json.Int bits) ])
+        @ causal_fields ~id ~kind ~targets)
   | Halted { round; node; output } ->
       tagged
         [ ("round", Int round);
@@ -87,6 +143,17 @@ let of_json json =
   let fail msg = raise (Parse_error ("Trace.of_json: " ^ msg)) in
   let int k = as_int (member_exn k json) in
   let bool k = as_bool (member_exn k json) in
+  (* Legacy traces predate the causal fields; default them to the
+     "unlabeled" sentinels so old [--trace-jsonl] artifacts re-parse. *)
+  let id = match member "id" json with Some j -> as_int j | None -> no_id in
+  let kind =
+    match member "kind" json with Some j -> as_string j | None -> no_kind
+  in
+  let targets =
+    match member "targets" json with
+    | Some j -> List.map as_int (as_list j)
+    | None -> []
+  in
   match as_string (member_exn "event" json) with
   | "round_started" -> Round_started { round = int "round" }
   | "sent" ->
@@ -95,7 +162,10 @@ let of_json json =
           node = int "node";
           multicast = bool "multicast";
           recipients = int "recipients";
-          bits = int "bits" }
+          bits = int "bits";
+          id;
+          kind;
+          targets }
   | "corrupted" -> Corrupted { round = int "round"; node = int "node" }
   | "removed" ->
       Removed
@@ -103,10 +173,19 @@ let of_json json =
           victim = int "victim";
           multicast = bool "multicast";
           recipients = int "recipients";
-          bits = int "bits" }
+          bits = int "bits";
+          id;
+          kind;
+          targets }
   | "injected" ->
       Injected
-        { round = int "round"; src = int "src"; recipients = int "recipients" }
+        { round = int "round";
+          src = int "src";
+          recipients = int "recipients";
+          bits = (match member "bits" json with Some j -> as_int j | None -> -1);
+          id;
+          kind;
+          targets }
   | "halted" ->
       Halted
         { round = int "round";

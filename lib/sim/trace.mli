@@ -6,12 +6,31 @@
     everything (tests, the CLI's [--trace] mode), a bounded {!ring} that
     keeps only the latest events, and a streaming {!jsonl_tracer} that
     writes one JSON object per event with optional kind/round filters.
-    Rendering is message-agnostic so one tracer serves every protocol. *)
+    Rendering is message-agnostic so one tracer serves every protocol.
+
+    {b Causal recording.} The message-bearing events ([Sent], [Removed],
+    [Injected]) carry three extra fields filled only when the engine runs
+    with a kind labeler ({!Engine.run}'s [?labeler]): a stable per-run
+    message [id] (creation order, shared between a wire's [Sent]-or-
+    [Removed] record), a protocol-supplied [kind] label, and the explicit
+    [targets] list of a non-multicast send. Without a labeler they hold
+    the sentinels [id = -1], [kind = ""], [targets = \[\]] and are
+    {e omitted} from the JSON, so unlabeled traces serialize
+    byte-identically to the legacy format. *)
 
 type event =
   | Round_started of { round : int }
   | Sent of
-      { round : int; node : int; multicast : bool; recipients : int; bits : int }
+      { round : int;
+        node : int;
+        multicast : bool;
+        recipients : int;
+        bits : int;
+        id : int;        (** per-run wire id; [-1] without causal recording *)
+        kind : string;   (** protocol kind label; [""] without recording *)
+        targets : int list
+            (** recipient ids of a targeted send; [[]] for multicasts and
+                without recording *) }
       (** an honest send survived to delivery ([recipients] = n for a
           multicast) *)
   | Corrupted of { round : int; node : int }
@@ -21,13 +40,31 @@ type event =
         victim : int;
         multicast : bool;
         recipients : int;
-        bits : int }
+        bits : int;
+        id : int;
+        kind : string;
+        targets : int list }
       (** an after-the-fact removal of one of [victim]'s sends; carries
           the erased send's shape so traces reconstruct the Definition-7
-          accounting (erased honest sends still count) *)
-  | Injected of { round : int; src : int; recipients : int }
+          accounting (erased honest sends still count). The [id] is the
+          erased wire's — a removed wire emits {e no} [Sent] event, so
+          ids partition into delivered and severed. *)
+  | Injected of
+      { round : int;
+        src : int;
+        recipients : int;
+        bits : int;  (** wire size; [-1] without causal recording *)
+        id : int;
+        kind : string;
+        targets : int list }
       (** the adversary made corrupt [src] send a message *)
   | Halted of { round : int; node : int; output : bool option }
+
+val no_id : int
+(** The [-1] sentinel of an unlabeled event's [id]. *)
+
+val no_kind : string
+(** The [""] sentinel of an unlabeled event's [kind]. *)
 
 val pp_event : Format.formatter -> event -> unit
 
@@ -38,13 +75,24 @@ val kind_of : event -> string
     [round_started], [sent], [corrupted], [removed], [injected],
     [halted]. *)
 
+val message_id : event -> int option
+(** The wire id of a message-bearing event ([Sent]/[Removed]/[Injected]);
+    [None] for the others. May be [Some no_id] on unlabeled traces. *)
+
+val message_kind : event -> string option
+(** The kind label of a message-bearing event; [None] for the others. *)
+
 val to_json : event -> Baobs.Json.t
+(** Causal fields ([id]/[kind]/[targets], and [Injected]'s [bits]) are
+    emitted only when they differ from the unlabeled sentinels, so
+    unlabeled traces keep the legacy wire format byte for byte. *)
 
 val of_json : Baobs.Json.t -> event
 (** Inverse of {!to_json} — the contract {!Bacheck.Trace_lint}'s file
     mode relies on: [of_json (to_json e) = e] for every event, so a
     [--trace-jsonl] file re-parses into the exact trace that was
-    recorded.
+    recorded. Legacy traces lacking the causal fields parse with the
+    sentinel defaults ([id = -1], [kind = ""], [targets = []]).
     @raise Baobs.Json.Parse_error on missing fields, wrong field types,
     or an unknown ["event"] tag. *)
 
@@ -90,4 +138,4 @@ val jsonl_tracer :
 
 val render : ?max_rounds:int -> collector -> string
 (** Human-readable, per-round digest of the trace (rounds beyond
-    [max_rounds] are summarized). *)
+    [max_rounds] are summarized; kind labels are shown when present). *)

@@ -355,6 +355,30 @@ let test_setup_necessity_validation () =
     (Invalid_argument "Setup_necessity.run: committee larger than {2..n}")
     (fun () -> ignore (Setup_necessity.run ~n:5 ~committee_size:5 ~seed:1L))
 
+(* --- Pinned property tests ---------------------------------------------------- *)
+
+let attacks_qcheck_tests =
+  (* The takeover's guarantee is seed-independent: whatever committee
+     the CRS selects, forcing it flips every honest output. *)
+  [ QCheck.Test.make ~name:"takeover forces the adversary's bit (any seed)"
+      ~count:12
+      QCheck.(make ~print:string_of_int Gen.(0 -- 10_000))
+      (fun seed ->
+        let proto = Babaselines.Static_committee.protocol ~committee_size:7 in
+        let inputs = Scenario.unanimous_inputs ~n:60 false in
+        let result =
+          Engine.run proto
+            ~adversary:(Takeover.make ~force:true ())
+            ~n:60 ~budget:10 ~inputs ~max_rounds:5 ~seed:(Int64.of_int seed)
+        in
+        let forced = ref true in
+        Array.iteri
+          (fun i out ->
+            if (not result.Engine.corrupt.(i)) && out <> Some true then
+              forced := false)
+          result.Engine.outputs;
+        !forced) ]
+
 let () =
   Alcotest.run "attacks"
     [ ( "eraser",
@@ -401,4 +425,8 @@ let () =
         [ Alcotest.test_case "contradiction" `Quick test_setup_necessity_contradiction;
           Alcotest.test_case "corruptions bounded" `Quick
             test_setup_necessity_corruptions_bounded;
-          Alcotest.test_case "validation" `Quick test_setup_necessity_validation ] ) ]
+          Alcotest.test_case "validation" `Quick test_setup_necessity_validation ] );
+      ( "qcheck",
+        List.map
+          (QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 0xba00a |]))
+          attacks_qcheck_tests ) ]

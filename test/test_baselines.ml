@@ -309,6 +309,30 @@ let test_sparse_relay_successors () =
   Alcotest.(check (list int)) "wraps" [ 9; 0; 1 ]
     (Sparse_relay.successors ~n:10 ~d:3 8)
 
+(* --- Pinned property tests ------------------------------------------------ *)
+
+let baselines_qcheck_tests =
+  (* The committee is CRS-derived: a function of the seed alone, always
+     the declared size, duplicate-free, in range. *)
+  [ QCheck.Test.make
+      ~name:"static committee: sized, duplicate-free, seed-deterministic"
+      ~count:20
+      QCheck.(make ~print:string_of_int Gen.(0 -- 10_000))
+      (fun seed ->
+        let committee () =
+          let env, _ =
+            Engine.run_env sc ~adversary:(passive ()) ~n:30 ~budget:0
+              ~inputs:(Array.make 30 true) ~max_rounds:5
+              ~seed:(Int64.of_int seed)
+          in
+          env.Static_committee.committee
+        in
+        let c1 = committee () and c2 = committee () in
+        c1 = c2
+        && List.length c1 = 5
+        && List.length (List.sort_uniq Int.compare c1) = 5
+        && List.for_all (fun i -> i >= 0 && i < 30) c1) ]
+
 let () =
   Alcotest.run "baselines"
     [ ( "dolev-strong",
@@ -337,4 +361,8 @@ let () =
       ( "sparse-relay",
         [ Alcotest.test_case "delivers" `Quick test_sparse_relay_delivers;
           Alcotest.test_case "message budget" `Quick test_sparse_relay_message_budget;
-          Alcotest.test_case "successors" `Quick test_sparse_relay_successors ] ) ]
+          Alcotest.test_case "successors" `Quick test_sparse_relay_successors ] );
+      ( "qcheck",
+        List.map
+          (QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 0xba00b |]))
+          baselines_qcheck_tests ) ]

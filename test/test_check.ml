@@ -98,10 +98,14 @@ let test_e8_takeover_clean () =
 (* --- hand-mutated negative traces --------------------------------------- *)
 
 let sent ~round ~node =
-  Trace.Sent { round; node; multicast = true; recipients = 6; bits = 8 }
+  Trace.Sent
+    { round; node; multicast = true; recipients = 6; bits = 8;
+      id = Trace.no_id; kind = Trace.no_kind; targets = [] }
 
 let removed ~round ~victim =
-  Trace.Removed { round; victim; multicast = true; recipients = 6; bits = 8 }
+  Trace.Removed
+    { round; victim; multicast = true; recipients = 6; bits = 8;
+      id = Trace.no_id; kind = Trace.no_kind; targets = [] }
 
 let verify ?metrics ~model ~budget events =
   Bacheck.Trace_lint.verify ?metrics ~model ~budget events
@@ -200,7 +204,9 @@ let test_neg_injection_from_honest () =
   let fs =
     verify ~model:Corruption.Adaptive ~budget:2
       [ Trace.Round_started { round = 0 };
-        Trace.Injected { round = 0; src = 4; recipients = 6 } ]
+        Trace.Injected
+          { round = 0; src = 4; recipients = 6; bits = -1; id = Trace.no_id;
+            kind = Trace.no_kind; targets = [] } ]
   in
   assert_finds "injection from honest node"
     Bacheck.Trace_lint.Injection_from_honest fs
@@ -367,21 +373,31 @@ let event_gen =
   let node = 0 -- 40 in
   let round = -1 -- 60 in
   let bits = 0 -- 2048 in
+  (* Causal fields mix sentinels (the unlabeled legacy shape) with
+     recorded values, so the round-trip covers both wire formats and
+     every partial combination. *)
+  let id = oneof [ return Trace.no_id; 0 -- 500 ] in
+  let kind = oneofl [ Trace.no_kind; "propose"; "vote"; "status" ] in
+  let targets = oneof [ return []; list_size (1 -- 4) node ] in
   oneof
     [ map (fun round -> Trace.Round_started { round }) (0 -- 60);
       map
-        (fun (round, node, multicast, recipients, bits) ->
-          Trace.Sent { round; node; multicast; recipients; bits })
-        (tup5 round node bool (0 -- 41) bits);
+        (fun ((round, node, multicast, recipients, bits), (id, kind, targets)) ->
+          Trace.Sent { round; node; multicast; recipients; bits; id; kind; targets })
+        (tup2 (tup5 round node bool (0 -- 41) bits) (tup3 id kind targets));
       map (fun (round, node) -> Trace.Corrupted { round; node })
         (tup2 round node);
       map
-        (fun (round, victim, multicast, recipients, bits) ->
-          Trace.Removed { round; victim; multicast; recipients; bits })
-        (tup5 round node bool (0 -- 41) bits);
+        (fun ((round, victim, multicast, recipients, bits), (id, kind, targets)) ->
+          Trace.Removed
+            { round; victim; multicast; recipients; bits; id; kind; targets })
+        (tup2 (tup5 round node bool (0 -- 41) bits) (tup3 id kind targets));
       map
-        (fun (round, src, recipients) -> Trace.Injected { round; src; recipients })
-        (tup3 round node (0 -- 41));
+        (fun ((round, src, recipients, bits), (id, kind, targets)) ->
+          Trace.Injected { round; src; recipients; bits; id; kind; targets })
+        (tup2
+           (tup4 round node (0 -- 41) (oneof [ return (-1); bits ]))
+           (tup3 id kind targets));
       map
         (fun (round, node, output) -> Trace.Halted { round; node; output })
         (tup3 round node (option bool)) ]
@@ -398,6 +414,22 @@ let roundtrip_prop e =
 let roundtrip_tests =
   [ QCheck.Test.make ~name:"event → json → string → json → event" ~count:500
       event_arbitrary roundtrip_prop ]
+
+let test_legacy_fixture_lints_clean () =
+  (* A committed pre-causal trace: the file mode parses it with the
+     sentinel defaults and the invariant verifier finds nothing. *)
+  let events = Bacheck.Trace_lint.load_jsonl "fixtures/legacy_e1_trace.jsonl" in
+  Alcotest.(check bool) "fixture nonempty" true (List.length events > 0);
+  List.iter
+    (fun e ->
+      match Trace.message_id e with
+      | Some id -> Alcotest.(check int) "legacy ids default to sentinel"
+          Trace.no_id id
+      | None -> ())
+    events;
+  assert_clean "legacy fixture"
+    (Bacheck.Trace_lint.verify ~model:Corruption.Strongly_adaptive ~budget:3
+       events)
 
 let test_jsonl_tracer_roundtrip () =
   (* The streaming tracer's file format must re-parse into exactly the
@@ -633,6 +665,8 @@ let () =
       ( "jsonl-roundtrip",
         Alcotest.test_case "jsonl tracer reparses" `Slow
           test_jsonl_tracer_roundtrip
+        :: Alcotest.test_case "legacy fixture replays clean" `Quick
+             test_legacy_fixture_lints_clean
         :: List.map
              (QCheck_alcotest.to_alcotest
                 ~rand:(Random.State.make [| 0xba002 |]))

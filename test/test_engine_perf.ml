@@ -160,14 +160,21 @@ let run_reference plan =
                            victim;
                            multicast = (w.r_dst = Engine.All);
                            recipients = recipients_of n w.r_dst;
-                           bits = msg_bits w.r_payload })
+                           bits = msg_bits w.r_payload;
+                           id = Trace.no_id;
+                           kind = Trace.no_kind;
+                           targets = [] })
                   end;
                   incr seen
                 end)
               wires
         | Engine.Inject { src; dst; payload } ->
             Metrics.record_injection metrics ~bits:(msg_bits payload);
-            emit (Trace.Injected { round = r; src; recipients = recipients_of n dst });
+            emit
+              (Trace.Injected
+                 { round = r; src; recipients = recipients_of n dst;
+                   bits = -1; id = Trace.no_id; kind = Trace.no_kind;
+                   targets = [] });
             injections :=
               { r_src = src; r_dst = dst; r_payload = payload; r_erased = false;
                 r_honest = false }
@@ -191,7 +198,10 @@ let run_reference plan =
                    node = w.r_src;
                    multicast = (w.r_dst = Engine.All);
                    recipients = recipients_of n w.r_dst;
-                   bits })
+                   bits;
+                   id = Trace.no_id;
+                   kind = Trace.no_kind;
+                   targets = [] })
         end)
       all_wires;
     let next = Array.make n [] in

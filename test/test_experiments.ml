@@ -153,6 +153,25 @@ let test_rate_formatting () =
   Alcotest.(check string) "rate" "1/4 (25.0%)" (Baexperiments.Common.rate 1 4);
   Alcotest.(check string) "pct" "50.0%" (Baexperiments.Common.pct 0.5)
 
+(* --- Pinned property tests ------------------------------------------------ *)
+
+let experiments_qcheck_tests =
+  (* Trial-seed derivation backs every experiment's reproducibility:
+     it must be a pure function of (base, index) and collision-free
+     across the indices one sweep uses. *)
+  [ QCheck.Test.make
+      ~name:"seed_of: deterministic and injective over trial indices"
+      ~count:200
+      QCheck.(
+        make
+          ~print:(fun (b, i, j) -> Printf.sprintf "(%d, %d, %d)" b i j)
+          Gen.(tup3 (0 -- 1_000) (0 -- 500) (0 -- 500)))
+      (fun (base, i, j) ->
+        let base = Int64.of_int base in
+        let si = Baexperiments.Common.seed_of base i in
+        Baexperiments.Common.seed_of base i = si
+        && (i = j || si <> Baexperiments.Common.seed_of base j)) ]
+
 let () =
   Alcotest.run "experiments"
     [ ( "suite",
@@ -171,4 +190,8 @@ let () =
         [ Alcotest.test_case "E1/E2/E8 tables jobs 1 = jobs 4" `Slow
             test_golden_parallel_tables;
           Alcotest.test_case "rates and json jobs 1 = jobs 4" `Quick
-            test_golden_parallel_rates ] ) ]
+            test_golden_parallel_rates ] );
+      ( "qcheck",
+        List.map
+          (QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 0xba00c |]))
+          experiments_qcheck_tests ) ]

@@ -349,6 +349,13 @@ let test_jsonl_sink_valid_lines () =
       | _ -> Alcotest.fail "JSONL line is not an object")
     lines
 
+(* An unlabeled Sent event (the sentinel causal fields of a run without
+   causal recording). *)
+let sent ~round ~node ~multicast ~recipients =
+  Trace.Sent
+    { round; node; multicast; recipients; bits = 8; id = Trace.no_id;
+      kind = Trace.no_kind; targets = [] }
+
 let test_jsonl_filters () =
   let buf = Buffer.create 256 in
   let sink = Baobs.Jsonl.to_buffer buf in
@@ -356,10 +363,10 @@ let test_jsonl_filters () =
     Trace.jsonl_tracer ~kinds:[ "sent" ] ~min_round:1 ~max_round:2 sink
   in
   tracer (Trace.Round_started { round = 1 });
-  tracer (Trace.Sent { round = 0; node = 0; multicast = true; recipients = 5; bits = 8 });
-  tracer (Trace.Sent { round = 1; node = 1; multicast = true; recipients = 5; bits = 8 });
-  tracer (Trace.Sent { round = 2; node = 2; multicast = false; recipients = 1; bits = 8 });
-  tracer (Trace.Sent { round = 3; node = 3; multicast = true; recipients = 5; bits = 8 });
+  tracer (sent ~round:0 ~node:0 ~multicast:true ~recipients:5);
+  tracer (sent ~round:1 ~node:1 ~multicast:true ~recipients:5);
+  tracer (sent ~round:2 ~node:2 ~multicast:false ~recipients:1);
+  tracer (sent ~round:3 ~node:3 ~multicast:true ~recipients:5);
   Alcotest.(check int) "two lines pass the filters" 2 (Baobs.Jsonl.emitted sink);
   let nodes =
     String.split_on_char '\n' (Buffer.contents buf)
@@ -1001,6 +1008,387 @@ let test_collector_memoized_events () =
     (List.length (Trace.events c));
   Alcotest.(check int) "length" 101 (Trace.length c)
 
+(* --- Causal analysis --------------------------------------------------------- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  s
+
+(* A three-node execution whose happens-before DAG fits on paper:
+     round 0: node 0 multicasts (kind "a"); node 2 is corrupted.
+     round 1: corrupt 2 injects to node 1 (kind "x"); honest 1 sends to
+              node 0; a second send of node 1 to node 0 is erased.
+     round 2: nodes 0 and 1 halt.
+   Taint sources: Corrupted(2,0) -> states (2,1),(2,2); the injection
+   taints (1,2); the severed send taints its would-be recipient (0,2).
+   Cones (memory + delivery edges, severed edge absent):
+     node 0 @ 2: {(0,2),(0,1),(0,0),(1,1),(1,0)}   -> 5 states, 1 tainted
+     node 1 @ 2: {(1,2),(1,1),(1,0),(2,1),(2,0),(0,0)} -> 6 states, 2 tainted *)
+let hand_built_events =
+  [ Trace.Round_started { round = 0 };
+    Trace.Sent
+      { round = 0; node = 0; multicast = true; recipients = 3; bits = 8;
+        id = 0; kind = "a"; targets = [] };
+    Trace.Corrupted { round = 0; node = 2 };
+    Trace.Round_started { round = 1 };
+    Trace.Injected
+      { round = 1; src = 2; recipients = 1; bits = 4; id = 1; kind = "x";
+        targets = [ 1 ] };
+    Trace.Sent
+      { round = 1; node = 1; multicast = false; recipients = 1; bits = 8;
+        id = 2; kind = "a"; targets = [ 0 ] };
+    Trace.Removed
+      { round = 1; victim = 1; multicast = false; recipients = 1; bits = 8;
+        id = 3; kind = "a"; targets = [ 0 ] };
+    Trace.Round_started { round = 2 };
+    Trace.Halted { round = 2; node = 0; output = Some true };
+    Trace.Halted { round = 2; node = 1; output = Some true } ]
+
+let causal_ok a =
+  match Baobs_report.Causal.check a with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail (String.concat "; " e)
+
+let test_causal_hand_built_taint () =
+  let a = Baobs_report.Causal.of_events hand_built_events in
+  causal_ok a;
+  Alcotest.(check int) "inferred n" 3 (Baobs_report.Causal.n a);
+  Alcotest.(check int) "rounds" 3 (Baobs_report.Causal.rounds a);
+  let s = Baobs_report.Causal.summary a in
+  Alcotest.(check int) "delivered" 2 s.Baobs_report.Causal.s_delivered;
+  Alcotest.(check int) "severed" 1 s.Baobs_report.Causal.s_severed;
+  Alcotest.(check int) "injected" 1 s.Baobs_report.Causal.s_injected;
+  Alcotest.(check int) "nothing approximated" 0 s.Baobs_report.Causal.s_approx;
+  Alcotest.(check int) "states" 9 s.Baobs_report.Causal.s_states;
+  (* 3 multicast edges + 1 unicast + 1 injection; the severed send
+     contributes none. *)
+  Alcotest.(check int) "delivery edges" 5 s.Baobs_report.Causal.s_edges;
+  (match Baobs_report.Causal.decisions a with
+  | [ d0; d1 ] ->
+      Alcotest.(check int) "first decision is node 0" 0
+        d0.Baobs_report.Causal.d_node;
+      Alcotest.(check int) "node 0 cone" 5 d0.Baobs_report.Causal.d_cone_states;
+      (* The erased send is the ONLY adversary influence on node 0: its
+         absence taints the deciding state itself. *)
+      Alcotest.(check int) "node 0 tainted = severed influence" 1
+        d0.Baobs_report.Causal.d_tainted_states;
+      Alcotest.(check int) "node 1 cone" 6 d1.Baobs_report.Causal.d_cone_states;
+      Alcotest.(check int) "node 1 tainted = corrupt sender + injection" 2
+        d1.Baobs_report.Causal.d_tainted_states;
+      Alcotest.(check int) "node 0 critical path" 2
+        d0.Baobs_report.Causal.d_critical_path;
+      Alcotest.(check int) "node 1 critical path" 2
+        d1.Baobs_report.Causal.d_critical_path;
+      Alcotest.(check bool) "taint fractions" true
+        (Baobs_report.Causal.taint_fraction d0 = 1.0 /. 5.0
+        && Baobs_report.Causal.taint_fraction d1 = 2.0 /. 6.0)
+  | ds ->
+      Alcotest.fail
+        (Printf.sprintf "expected 2 decisions, got %d" (List.length ds)));
+  (* Definition-7 flow matrix: the severed round-1 send still counts in
+     kind "a"'s unicast totals and as a removal. *)
+  let flow round kind =
+    match
+      List.find_opt
+        (fun f ->
+          f.Baobs_report.Causal.f_round = round
+          && f.Baobs_report.Causal.f_kind = kind)
+        (Baobs_report.Causal.flows a)
+    with
+    | Some f -> f
+    | None -> Alcotest.fail (Printf.sprintf "missing flow (%d, %s)" round kind)
+  in
+  let f0 = flow 0 "a" in
+  Alcotest.(check int) "round-0 multicasts" 1 f0.Baobs_report.Causal.f_multicasts;
+  Alcotest.(check int) "round-0 multicast bits" 8
+    f0.Baobs_report.Causal.f_multicast_bits;
+  let f1 = flow 1 "a" in
+  Alcotest.(check int) "round-1 unicasts include the erased send" 2
+    f1.Baobs_report.Causal.f_unicasts;
+  Alcotest.(check int) "round-1 unicast bits" 16
+    f1.Baobs_report.Causal.f_unicast_bits;
+  Alcotest.(check int) "round-1 removals" 1 f1.Baobs_report.Causal.f_removals;
+  let fx = flow 1 "x" in
+  Alcotest.(check int) "round-1 injections" 1 fx.Baobs_report.Causal.f_injections;
+  Alcotest.(check int) "round-1 injection bits" 4
+    fx.Baobs_report.Causal.f_injection_bits
+
+let test_causal_chrome_flow_shape () =
+  let a = Baobs_report.Causal.of_events hand_built_events in
+  let doc = Baobs_report.Causal.to_chrome a in
+  let events = Baobs.Json.(as_list (member_exn "traceEvents" doc)) in
+  let phase e = Baobs.Json.(as_string (member_exn "ph" e)) in
+  let count p = List.length (List.filter (fun e -> phase e = p) events) in
+  (* One flow start per message that found a consumer; one finish per
+     delivery edge; every finish binds to the enclosing slice. *)
+  Alcotest.(check int) "flow starts = delivered + injected" 3 (count "s");
+  Alcotest.(check int) "flow finishes = delivery edges" 5 (count "f");
+  Alcotest.(check bool) "finishes bind enclosing slice" true
+    (List.for_all
+       (fun e ->
+         phase e <> "f"
+         || Baobs.Json.(
+              match member "bp" e with
+              | Some (String "e") -> true
+              | _ -> false))
+       events);
+  (* The removal surfaces as an instant on the victim's thread. *)
+  Alcotest.(check bool) "removal instant present" true
+    (List.exists
+       (fun e ->
+         phase e = "i"
+         && Baobs.Json.(as_string (member_exn "name" e)) = "removed:a")
+       events);
+  (* One slice per (node, round) state. *)
+  Alcotest.(check int) "state slices" 9 (count "X")
+
+let run_sub_hm_causal ~n ~budget ~adversary ~inputs ~seed =
+  let params = Params.make ~lambda:20 ~max_epochs:5 () in
+  let proto = Sub_hm.protocol ~params ~world:`Hybrid in
+  let c = Trace.collector () in
+  let result =
+    Engine.run ~tracer:(Trace.observe c) ~labeler:Sub_hm.msg_kind proto
+      ~adversary ~n ~budget ~inputs ~max_rounds:32 ~seed
+  in
+  (result, Baobs_report.Causal.of_events ~n (Trace.events c))
+
+let sum_flows field a =
+  List.fold_left (fun acc f -> acc + field f) 0 (Baobs_report.Causal.flows a)
+
+let test_causal_e1_eraser_all_decisions_tainted () =
+  (* Seeded E1: every honest decision sits downstream of an erased
+     message — nonzero taint across the board, with exact recipient
+     sets (labeled run, nothing approximated). *)
+  let result, a =
+    run_sub_hm_causal ~n:101 ~budget:30
+      ~adversary:(Baattacks.Eraser.make ())
+      ~inputs:(Scenario.unanimous_inputs ~n:101 true)
+      ~seed:7L
+  in
+  causal_ok a;
+  Alcotest.(check int) "labeled run is exact" 0
+    (Baobs_report.Causal.approx_messages a);
+  let ds = Baobs_report.Causal.decisions a in
+  Alcotest.(check bool) "decisions recorded" true (List.length ds > 0);
+  Alcotest.(check bool) "every decision tainted" true
+    (List.for_all (fun d -> d.Baobs_report.Causal.d_tainted_states > 0) ds);
+  Alcotest.(check bool) "taint is a strict subset of each cone" true
+    (List.for_all
+       (fun d ->
+         d.Baobs_report.Causal.d_tainted_states
+         <= d.Baobs_report.Causal.d_cone_states)
+       ds);
+  (* Every flow row carries a protocol label. *)
+  Alcotest.(check bool) "flow kinds labeled" true
+    (List.for_all
+       (fun f -> f.Baobs_report.Causal.f_kind <> "")
+       (Baobs_report.Causal.flows a));
+  (* Cone-independent cross-check: the flow matrix sums to Metrics. *)
+  let m = result.Engine.metrics in
+  Alcotest.(check int) "flow multicasts = Metrics"
+    (Metrics.honest_multicasts m)
+    (sum_flows (fun f -> f.Baobs_report.Causal.f_multicasts) a);
+  Alcotest.(check int) "flow multicast bits = Metrics"
+    (Metrics.honest_multicast_bits m)
+    (sum_flows (fun f -> f.Baobs_report.Causal.f_multicast_bits) a);
+  Alcotest.(check int) "flow removals = Metrics" (Metrics.removals m)
+    (sum_flows (fun f -> f.Baobs_report.Causal.f_removals) a);
+  Alcotest.(check bool) "scenario has removals" true (Metrics.removals m > 0)
+
+let test_causal_e2_passive_zero_taint () =
+  (* Seeded E2 shape: no adversary events, so taint must be zero at
+     every decision — the attribution never invents influence. *)
+  let _, a =
+    run_sub_hm_causal ~n:201 ~budget:0 ~adversary:(passive ())
+      ~inputs:(Scenario.split_inputs ~n:201)
+      ~seed:3L
+  in
+  causal_ok a;
+  let ds = Baobs_report.Causal.decisions a in
+  Alcotest.(check int) "all nodes decide" 201 (List.length ds);
+  Alcotest.(check bool) "zero taint everywhere" true
+    (List.for_all (fun d -> d.Baobs_report.Causal.d_tainted_states = 0) ds);
+  Alcotest.(check bool) "cones nonempty" true
+    (List.for_all (fun d -> d.Baobs_report.Causal.d_cone_states > 0) ds)
+
+let test_causal_e8_takeover_all_decisions_tainted () =
+  (* Seeded E8: the takeover corrupts the public committee, so every
+     honest decision flows through corrupted state. *)
+  let proto = Babaselines.Static_committee.protocol ~committee_size:7 in
+  let n = 60 in
+  let c = Trace.collector () in
+  let result =
+    Engine.run ~tracer:(Trace.observe c)
+      ~labeler:Babaselines.Static_committee.msg_kind proto
+      ~adversary:(Baattacks.Takeover.make ~force:true ())
+      ~n ~budget:10
+      ~inputs:(Scenario.unanimous_inputs ~n false)
+      ~max_rounds:5 ~seed:30L
+  in
+  let a = Baobs_report.Causal.of_events ~n (Trace.events c) in
+  causal_ok a;
+  let ds = Baobs_report.Causal.decisions a in
+  Alcotest.(check int) "every honest node decides"
+    (n - result.Engine.corruptions)
+    (List.length ds);
+  Alcotest.(check bool) "every decision tainted" true
+    (List.for_all (fun d -> d.Baobs_report.Causal.d_tainted_states > 0) ds);
+  Alcotest.(check bool) "injections visible in the flow matrix" true
+    (sum_flows (fun f -> f.Baobs_report.Causal.f_injections) a > 0)
+
+let test_causal_legacy_fixture_replay () =
+  (* Committed pre-causal traces: every line reserializes byte for byte
+     (of_json defaults the causal fields to sentinels, to_json omits
+     them), and the analyses accept the legacy format. *)
+  let check_lines fixture =
+    List.iter
+      (fun line ->
+        if line <> "" then
+          Alcotest.(check string) "legacy line reserializes byte-identically"
+            line
+            (Baobs.Json.to_string
+               (Trace.to_json (Trace.of_json (Baobs.Json.of_string line)))))
+      (String.split_on_char '\n' fixture)
+  in
+  let e1 = read_file "fixtures/legacy_e1_trace.jsonl" in
+  check_lines e1;
+  let a = Baobs_report.Causal.of_jsonl_string e1 in
+  causal_ok a;
+  Alcotest.(check bool) "legacy eraser trace shows taint" true
+    (List.exists
+       (fun d -> d.Baobs_report.Causal.d_tainted_states > 0)
+       (Baobs_report.Causal.decisions a));
+  (match Baobs_report.Report.check (Baobs_report.Report.of_jsonl_string e1) with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail (String.concat "; " e));
+  let split = read_file "fixtures/legacy_split_trace.jsonl" in
+  check_lines split;
+  let b = Baobs_report.Causal.of_jsonl_string split in
+  causal_ok b;
+  (* Targeted injections without recorded recipient lists are counted as
+     over-approximated, not silently treated as exact. *)
+  Alcotest.(check bool) "legacy targeted sends flagged approximate" true
+    (Baobs_report.Causal.approx_messages b > 0)
+
+let test_causal_off_byte_identity () =
+  (* Re-run the committed fixture's exact configuration on today's
+     engine with causal recording off: the JSONL must match the
+     pre-causal bytes. *)
+  let fixture = read_file "fixtures/legacy_e1_trace.jsonl" in
+  let params = Params.make ~lambda:4 ~max_epochs:3 () in
+  let proto =
+    Sub_third.protocol ~params ~world:`Hybrid ~mode:Sub_third.Bit_specific
+  in
+  let regen ?labeler () =
+    let buf = Buffer.create 1024 in
+    let _ =
+      Engine.run
+        ~tracer:(Trace.jsonl_tracer (Baobs.Jsonl.to_buffer buf))
+        ?labeler proto
+        ~adversary:(Baattacks.Eraser.make ())
+        ~n:9 ~budget:3
+        ~inputs:(Scenario.unanimous_inputs ~n:9 true)
+        ~max_rounds:24 ~seed:7L
+    in
+    Buffer.contents buf
+  in
+  Alcotest.(check string) "recording off = legacy bytes" fixture (regen ());
+  (* The same run with a labeler must carry kind labels — proving the
+     identity above is not vacuous. *)
+  let labeled = regen ~labeler:Sub_third.msg_kind () in
+  Alcotest.(check bool) "labeled run differs" true (labeled <> fixture);
+  let contains s sub =
+    let nn = String.length sub and tn = String.length s in
+    let rec scan i = i + nn <= tn && (String.sub s i nn = sub || scan (i + 1)) in
+    scan 0
+  in
+  Alcotest.(check bool) "labeled run records kinds" true
+    (contains labeled "\"kind\":")
+
+let ba_run_exe = "../bin/ba_run.exe"
+
+let test_ba_run_causal_json_end_to_end () =
+  (* The CLI rejects a doomed --causal-json destination before running
+     (same validate_path contract as --trace-jsonl)... *)
+  let base =
+    ba_run_exe
+    ^ " -p sub-third -n 9 -a eraser -f 3 --lambda 4 --epochs 3 --inputs ones \
+       --seed 7"
+  in
+  let run cmd = Sys.command (cmd ^ " >/dev/null 2>/dev/null") in
+  Alcotest.(check int) "doomed path rejected up front" 1
+    (run (base ^ " --causal-json /nonexistent-xyz/causal.json"));
+  (* ...and a good path receives a parseable ba-causal/v1 document. *)
+  let tmp = Filename.temp_file "ba_causal" ".json" in
+  Alcotest.(check int) "run with --causal-json succeeds" 0
+    (run (base ^ " --causal-json " ^ tmp));
+  let s =
+    Baobs_report.Causal.summary_of_json (Baobs.Json.of_string (read_file tmp))
+  in
+  Sys.remove tmp;
+  Alcotest.(check int) "document matches the run" 9 s.Baobs_report.Causal.s_n;
+  Alcotest.(check bool) "decisions recorded" true
+    (List.length s.Baobs_report.Causal.s_decisions > 0)
+
+(* qcheck: ba-causal/v1 is an exact codec — summary_of_json inverts
+   summary_to_json on arbitrary (well-typed) summaries, not just ones an
+   analysis produced. *)
+let causal_summary_gen =
+  let open QCheck.Gen in
+  let decision =
+    small_nat >>= fun d_node ->
+    small_nat >>= fun d_round ->
+    oneofl [ None; Some true; Some false ] >>= fun d_output ->
+    small_nat >>= fun d_cone_states ->
+    small_nat >>= fun d_tainted_states ->
+    small_nat >>= fun d_critical_path ->
+    return
+      { Baobs_report.Causal.d_node; d_round; d_output; d_cone_states;
+        d_tainted_states; d_critical_path }
+  in
+  let flow =
+    small_nat >>= fun f_round ->
+    oneofl [ ""; "propose"; "vote"; "status"; "commit" ] >>= fun f_kind ->
+    small_nat >>= fun f_multicasts ->
+    small_nat >>= fun f_multicast_bits ->
+    small_nat >>= fun f_unicasts ->
+    small_nat >>= fun f_unicast_bits ->
+    small_nat >>= fun f_removals ->
+    small_nat >>= fun f_injections ->
+    small_nat >>= fun f_injection_bits ->
+    return
+      { Baobs_report.Causal.f_round; f_kind; f_multicasts; f_multicast_bits;
+        f_unicasts; f_unicast_bits; f_removals; f_injections; f_injection_bits }
+  in
+  small_nat >>= fun s_n ->
+  small_nat >>= fun s_rounds ->
+  small_nat >>= fun s_delivered ->
+  small_nat >>= fun s_severed ->
+  small_nat >>= fun s_injected ->
+  small_nat >>= fun s_approx ->
+  small_nat >>= fun s_states ->
+  small_nat >>= fun s_edges ->
+  list_size (int_bound 5) decision >>= fun s_decisions ->
+  list_size (int_bound 5) flow >>= fun s_flows ->
+  return
+    { Baobs_report.Causal.s_n; s_rounds; s_delivered; s_severed; s_injected;
+      s_approx; s_states; s_edges; s_decisions; s_flows }
+
+let causal_qcheck_tests =
+  [ QCheck.Test.make ~name:"summary → ba-causal/v1 json → summary" ~count:200
+      (QCheck.make
+         ~print:(fun s ->
+           Baobs.Json.to_string (Baobs_report.Causal.summary_to_json s))
+         causal_summary_gen)
+      (fun s ->
+        Baobs_report.Causal.summary_of_json
+          (Baobs.Json.of_string
+             (Baobs.Json.to_string (Baobs_report.Causal.summary_to_json s)))
+        = s) ]
+
 let () =
   Alcotest.run "obs"
     [ ( "json",
@@ -1068,4 +1456,25 @@ let () =
         [ Alcotest.test_case "valid lines" `Quick test_jsonl_sink_valid_lines;
           Alcotest.test_case "filters" `Quick test_jsonl_filters ] );
       ( "collector",
-        [ Alcotest.test_case "memoization" `Quick test_collector_memoized_events ] ) ]
+        [ Alcotest.test_case "memoization" `Quick test_collector_memoized_events ] );
+      ( "causal",
+        Alcotest.test_case "hand-built taint cone" `Quick
+          test_causal_hand_built_taint
+        :: Alcotest.test_case "chrome flow shape" `Quick
+             test_causal_chrome_flow_shape
+        :: Alcotest.test_case "e1 eraser: all decisions tainted" `Quick
+             test_causal_e1_eraser_all_decisions_tainted
+        :: Alcotest.test_case "e2 passive: zero taint" `Quick
+             test_causal_e2_passive_zero_taint
+        :: Alcotest.test_case "e8 takeover: all decisions tainted" `Quick
+             test_causal_e8_takeover_all_decisions_tainted
+        :: Alcotest.test_case "legacy fixture replay" `Quick
+             test_causal_legacy_fixture_replay
+        :: Alcotest.test_case "recording off is byte-identical" `Quick
+             test_causal_off_byte_identity
+        :: Alcotest.test_case "ba_run --causal-json end to end" `Quick
+             test_ba_run_causal_json_end_to_end
+        :: List.map
+             (QCheck_alcotest.to_alcotest
+                ~rand:(Random.State.make [| 0xba009 |]))
+             causal_qcheck_tests ) ]
