@@ -53,7 +53,7 @@ let against = flag_value "--against"
 
 (* --out FILE: where to write the report (default BENCH_1.json;
    successor baselines go to BENCH_2.json, BENCH_3.json, etc. — the
-   committed baseline CI gates against is currently BENCH_4.json). *)
+   committed baseline CI gates against is currently BENCH_5.json). *)
 let bench_json_path =
   match flag_value "--out" with Some path -> path | None -> "BENCH_1.json"
 
@@ -429,6 +429,60 @@ let resource_summary () =
       ("minor_gcs", Int minor_gcs);
       ("major_gcs", Int major_gcs) ]
 
+(* ---------- Scale: the sparse engine at n = 10^3 .. 10^5 --------------- *)
+
+(* The million-node trajectory measured directly: one seeded passive
+   sub-HM trial per decade through the crowd-sparse path, recording wall
+   time, peak heap and allocated words/round. Memory flatness at
+   n = 10^5 is gated in CI by `ba_obs mem --check`; recording the same
+   numbers here lets BENCH baselines track the trajectory across
+   commits. *)
+let scale_summary () =
+  let open Baobs.Json in
+  print_endline "\n### Sparse engine scale (passive sub-hm, crowd hook)\n";
+  List.map
+    (fun n ->
+      Baobs.Resource.enable ();
+      let recorder = Baobs.Resource.create () in
+      let params = Params.make ~lambda:40 ~max_epochs:60 () in
+      let proto = Sub_hm.protocol ~params ~world:`Hybrid in
+      let inputs = Scenario.split_inputs ~n in
+      let wall_s, result =
+        time_s (fun () ->
+            Engine.run proto ~resource:recorder
+              ~sparse:(Sub_hm.sparse_step ())
+              ~adversary:(passive ()) ~n ~budget:0 ~inputs ~max_rounds:250
+              ~seed:2L)
+      in
+      Baobs.Resource.disable ();
+      let rows = Baobs.Resource.rows recorder in
+      let peak_heap =
+        List.fold_left
+          (fun acc r -> max acc r.Baobs.Resource.row_top_heap_words)
+          0 rows
+      in
+      let words_per_round =
+        match Baobs.Resource.allocation_summary recorder with
+        | Some s -> Some s.Bastats.Summary.mean
+        | None -> None
+      in
+      Printf.printf
+        "n=%-7d rounds=%-3d wall %8.3f s   peak heap %10d words   \
+         alloc/round %s\n"
+        n result.Engine.rounds_used wall_s peak_heap
+        (match words_per_round with
+        | Some w -> Printf.sprintf "%12.0f words" w
+        | None -> "(none)");
+      Obj
+        [ ("scenario", String (Printf.sprintf "scale.sub-hm-sparse-n%d" n));
+          ("n", Int n);
+          ("rounds_used", Int result.Engine.rounds_used);
+          ("wall_s", Float wall_s);
+          ("peak_heap_words", Int peak_heap);
+          ( "allocated_words_per_round",
+            match words_per_round with Some w -> Float w | None -> Null ) ])
+    [ 1_000; 10_000; 100_000 ]
+
 let write_bench_json ~quota_s named =
   let open Baobs.Json in
   let results =
@@ -448,7 +502,8 @@ let write_bench_json ~quota_s named =
         ("intra_parallel", intra_parallel_summary);
         ("results", List results);
         ("engine_counters", List (engine_counter_summaries ()));
-        ("resource", resource_summary ()) ]
+        ("resource", resource_summary ());
+        ("scale", List (scale_summary ())) ]
   in
   let oc = open_out bench_json_path in
   output_string oc (to_string json);

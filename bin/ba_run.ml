@@ -106,8 +106,8 @@ let print_rates ~label (rates : Baexperiments.Common.rates) =
 (* Each protocol has its own message type, so the dispatch instantiates
    engine, adversary, and printer together. *)
 let dispatch proto adv ~n ~budget ~lambda ~epochs ~inputs_choice ~seed ~reps
-    ~jobs ~trace ~trace_jsonl ~metrics_json ~profile_json ~resource_json
-    ~causal ~causal_json ~timings ~check_trace ~lenient_caps =
+    ~jobs ~sparse ~trace ~trace_jsonl ~metrics_json ~profile_json
+    ~resource_json ~causal ~causal_json ~timings ~check_trace ~lenient_caps =
   (* --causal-json implies causal recording (message ids, kind labels,
      explicit recipient lists in the trace). *)
   let causal = causal || causal_json <> None in
@@ -234,7 +234,7 @@ let dispatch proto adv ~n ~budget ~lambda ~epochs ~inputs_choice ~seed ~reps
           let items = Bacheck.Report.of_trace_findings findings in
           if Bacheck.Report.emit_text ~tool:"check-trace" items then 3 else 0
   in
-  let run_sweep proto_rec label make_adv =
+  let run_sweep ?sparse_make proto_rec label make_adv =
     if
       trace || check_trace || causal || trace_jsonl <> None
       || resource_json <> None
@@ -248,9 +248,11 @@ let dispatch proto adv ~n ~budget ~lambda ~epochs ~inputs_choice ~seed ~reps
       let rates =
         Baexperiments.Common.measure ?jobs ~reps ~seed:seed64 (fun s ->
             let inputs = make_inputs inputs_choice ~n ~seed:s in
+            (* fresh hook per trial: trials may run on parallel domains *)
+            let sparse = Option.map (fun make -> make ()) sparse_make in
             let result =
-              Engine.run ~on_caps_mismatch proto_rec ~adversary:(make_adv ())
-                ~n ~budget ~inputs ~max_rounds ~seed:s
+              Engine.run ?sparse ~on_caps_mismatch proto_rec
+                ~adversary:(make_adv ()) ~n ~budget ~inputs ~max_rounds ~seed:s
             in
             (result, Properties.agreement ~inputs result))
       in
@@ -284,13 +286,14 @@ let dispatch proto adv ~n ~budget ~lambda ~epochs ~inputs_choice ~seed ~reps
       else 2
     end
   in
-  let run_proto ~labeler proto_rec label make_adv =
-    if reps > 1 then run_sweep proto_rec label make_adv
+  let run_proto ?sparse_make ~labeler proto_rec label make_adv =
+    if reps > 1 then run_sweep ?sparse_make proto_rec label make_adv
     else begin
       let adversary = make_adv () in
       let labeler = if causal then Some labeler else None in
+      let sparse = Option.map (fun make -> make ()) sparse_make in
       let result =
-        Engine.run ~tracer ?series ?resource ?labeler ~on_caps_mismatch
+        Engine.run ~tracer ?series ?resource ?labeler ?sparse ~on_caps_mismatch
           proto_rec ~adversary ~n ~budget ~inputs ~max_rounds ~seed:seed64
       in
       print_trace ();
@@ -419,7 +422,9 @@ let dispatch proto adv ~n ~budget ~lambda ~epochs ~inputs_choice ~seed ~reps
           prerr_endline e;
           1
       | Ok adversary ->
-          run_proto ~labeler:Sub_hm.msg_kind proto_rec "sub-hm" adversary)
+          let sparse_make = if sparse then Some Sub_hm.sparse_step else None in
+          run_proto ?sparse_make ~labeler:Sub_hm.msg_kind proto_rec "sub-hm"
+            adversary)
 
 let proto_arg =
   Arg.(
@@ -562,6 +567,17 @@ let check_trace_arg =
            model's invariants (round monotonicity, removal discipline, \
            budget, Definition-7 accounting). Exits 3 on any finding.")
 
+let sparse_arg =
+  Arg.(
+    value & flag
+    & info [ "sparse" ]
+        ~doc:
+          "Execute rounds through the engine's sparse path with the \
+           protocol's crowd hook (sub-hm and sub-hm-real only). Traces, \
+           metrics, series and verdicts are byte-identical to the dense \
+           path; a round costs O(active nodes) instead of O(n × inbox), \
+           which is what makes n = 100000 runs practical.")
+
 let lenient_caps_arg =
   Arg.(
     value & flag
@@ -572,8 +588,8 @@ let lenient_caps_arg =
            or budget.")
 
 let main proto adv n budget lambda epochs inputs_choice seed reps jobs
-    intra_jobs trace trace_jsonl metrics_json profile_json resource_json causal
-    causal_json timings check_trace lenient_caps =
+    intra_jobs sparse trace trace_jsonl metrics_json profile_json resource_json
+    causal causal_json timings check_trace lenient_caps =
   (match intra_jobs with
   | Some j when j >= 1 -> Engine.set_intra_jobs j
   | Some j ->
@@ -603,11 +619,18 @@ let main proto adv n budget lambda epochs inputs_choice seed reps jobs
     List.iter (fun e -> prerr_endline ("ba_run: " ^ e)) path_errors;
     1
   end
+  else if
+    sparse && (match proto with P_sub_hm | P_sub_hm_real -> false | _ -> true)
+  then begin
+    prerr_endline
+      "ba_run: --sparse is implemented for the sub-hm protocols only";
+    1
+  end
   else
     try
       dispatch proto adv ~n ~budget ~lambda ~epochs ~inputs_choice ~seed ~reps
-        ~jobs ~trace ~trace_jsonl ~metrics_json ~profile_json ~resource_json
-        ~causal ~causal_json ~timings ~check_trace ~lenient_caps
+        ~jobs ~sparse ~trace ~trace_jsonl ~metrics_json ~profile_json
+        ~resource_json ~causal ~causal_json ~timings ~check_trace ~lenient_caps
     with Sys_error e ->
       (* e.g. a destination that became unwritable mid-run *)
       prerr_endline ("ba_run: " ^ e);
@@ -620,7 +643,8 @@ let cmd =
     Term.(
       const main $ proto_arg $ adv_arg $ n_arg $ budget_arg $ lambda_arg
       $ epochs_arg $ inputs_arg $ seed_arg $ reps_arg $ jobs_arg
-      $ intra_jobs_arg $ trace_arg $ trace_jsonl_arg $ metrics_json_arg
+      $ intra_jobs_arg $ sparse_arg $ trace_arg $ trace_jsonl_arg
+      $ metrics_json_arg
       $ profile_json_arg $ resource_json_arg $ causal_arg $ causal_json_arg
       $ timings_arg $ check_trace_arg $ lenient_caps_arg)
 

@@ -128,4 +128,25 @@ val valid_cert : env -> elig_cert -> bool
 (** [λ/2] distinct verifying vote credentials. *)
 
 val best_certificate : state -> elig_cert option
-(** Inspectable for tests. *)
+(** Inspectable for tests. [None] for a node that has absorbed nothing —
+    including a node still riding the shared crowd listener of
+    {!sparse_step}. *)
+
+val sparse_step : unit -> (env, state, msg) Basim.Engine.sparse_step
+(** A crowd-sparse round hook for {!Basim.Engine.run}'s [?sparse]
+    argument, trace-equivalent to the dense [step] but O(active) per
+    round instead of O(n · inbox).
+
+    Every message here is a multicast, so nodes whose inbox equals the
+    engine's shared delivery tail have — inductively — identical
+    listener halves; the hook keeps ONE shared listener for that crowd,
+    absorbs the tail once, and finishes each member's step with its O(1)
+    private part (input bit, at most one rng coin, one
+    {!Bafmine.Eligibility.t.sample} probe). A member whose inbox ever
+    differs (a targeted adversary injection) forks a private listener
+    from the round-start snapshot and runs dense steps from then on.
+
+    [sparse_step ()] allocates the crowd state; the returned hook resets
+    it whenever the engine starts a round-0, so one hook may serve
+    repeated trials. Use with the protocols of {!protocol} only — the
+    hook encodes this module's step logic. *)

@@ -6,13 +6,16 @@ let real_world pki =
     Prf.below_difficulty ev.Vrf.rho ~p
     && Vrf.verify params (Pki.public_key pki node) msg ev
   in
+  let mine ~node ~msg ~p =
+    let ev = Vrf.eval params (Pki.secret_key pki node) msg in
+    if Prf.below_difficulty ev.Vrf.rho ~p then
+      Some (Eligibility.Vrf_credential ev)
+    else None
+  in
   { Eligibility.world = `Real;
-    mine =
-      (fun ~node ~msg ~p ->
-        let ev = Vrf.eval params (Pki.secret_key pki node) msg in
-        if Prf.below_difficulty ev.Vrf.rho ~p then
-          Some (Eligibility.Vrf_credential ev)
-        else None);
+    mine;
+    (* VRF mining keeps no per-attempt state, so sampling is mining. *)
+    sample = mine;
     verify =
       (fun ~node ~msg ~p -> function
         | Eligibility.Ideal_ticket -> false
@@ -62,6 +65,11 @@ let hybrid_from_pki pki =
   let lookup node msg =
     match Hashtbl.find_opt mined (node, msg) with Some o -> o | None -> false
   in
+  let coin node msg p =
+    let sk = Pki.secret_key pki node in
+    let rho = Prf.eval_cached sk.Vrf.prf_cached msg in
+    Prf.below_difficulty rho ~p
+  in
   { Eligibility.world = `Hybrid;
     mine =
       (fun ~node ~msg ~p ->
@@ -70,10 +78,21 @@ let hybrid_from_pki pki =
               match Hashtbl.find_opt mined (node, msg) with
               | Some o -> o
               | None ->
-                  let sk = Pki.secret_key pki node in
-                  let rho = Prf.eval_cached sk.Vrf.prf_cached msg in
-                  let o = Prf.below_difficulty rho ~p in
+                  let o = coin node msg p in
                   Hashtbl.replace mined (node, msg) o;
+                  o)
+        in
+        if outcome then Some Eligibility.Ideal_ticket else None);
+    sample =
+      (fun ~node ~msg ~p ->
+        (* winner-only memoization, as in [Fmine.sample] *)
+        let outcome =
+          Mutex.protect lock (fun () ->
+              match Hashtbl.find_opt mined (node, msg) with
+              | Some o -> o
+              | None ->
+                  let o = coin node msg p in
+                  if o then Hashtbl.replace mined (node, msg) o;
                   o)
         in
         if outcome then Some Eligibility.Ideal_ticket else None);

@@ -5,6 +5,7 @@ type credential =
 type t = {
   world : [ `Hybrid | `Real ];
   mine : node:int -> msg:string -> p:float -> credential option;
+  sample : node:int -> msg:string -> p:float -> credential option;
   verify : node:int -> msg:string -> p:float -> credential -> bool;
   verify_many : msg:string -> p:float -> (int * credential) list -> bool list;
   credential_bits : credential -> int;
@@ -15,6 +16,9 @@ let hybrid fmine =
     mine =
       (fun ~node ~msg ~p ->
         if Fmine.mine fmine ~node ~msg ~p then Some Ideal_ticket else None);
+    sample =
+      (fun ~node ~msg ~p ->
+        if Fmine.sample fmine ~node ~msg ~p then Some Ideal_ticket else None);
     verify =
       (fun ~node ~msg ~p:_ -> function
         | Ideal_ticket -> Fmine.verify fmine ~node ~msg

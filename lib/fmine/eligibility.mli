@@ -25,6 +25,13 @@ type t = {
           eligible. Requires the caller to {e be} node [node] (honest
           code) or to have corrupted it (the engine hands the adversary
           corrupt nodes' keys); attack implementations respect this. *)
+  sample : node:int -> msg:string -> p:float -> credential option;
+      (** Outcome-identical to {!field-mine} (same coin), but losing
+          attempts leave no per-attempt record behind — the
+          heap-flatness-preserving probe the sparse engine path uses to
+          test every active node's eligibility each round
+          ({!Fmine.sample}). In the real world mining is already
+          stateless, so this {e is} [mine]. *)
   verify : node:int -> msg:string -> p:float -> credential -> bool;
       (** Check an announced eligibility. *)
   verify_many : msg:string -> p:float -> (int * credential) list -> bool list;

@@ -4,6 +4,11 @@ type t = {
   coin_key : Bacrypto.Prf.cached; (* hidden; drives the Bernoulli coins *)
   table : (int * string, record) Hashtbl.t;
   mutable successes : int;
+  mutable sampled_losses : int;
+      (* losing [sample] attempts, which are counted but NOT memoized:
+         the sparse engine path probes every active node per round, and
+         memoizing the losers would grow the table by O(n) per round —
+         the exact heap growth the memory-flatness gate forbids *)
   (* When the engine shards a round across domains, concurrent honest
      steps mine and verify against one shared functionality. The lock
      covers every table access; [mine] holds it across coin derivation
@@ -17,6 +22,7 @@ let create rng =
   { coin_key = Bacrypto.Prf.cache (Bacrypto.Prf.gen rng);
     table = Hashtbl.create 1024;
     successes = 0;
+    sampled_losses = 0;
     lock = Mutex.create () }
 
 let p_mine = Baobs.Probe.register "fmine.mine"
@@ -45,6 +51,38 @@ let mine t ~node ~msg ~p =
   Baobs.Probe.stop p_mine t0;
   outcome
 
+(* Identical coin to [mine] (same PRF, so [sample] and [mine] can never
+   disagree on an outcome), but only {e winners} enter the table. Sound
+   because [verify] answers [false] for absent entries and a losing
+   attempt never yields a credential anyone could present — exactly
+   Figure 1's "unattempted mines verify as 0" read. Losers are tallied
+   in [sampled_losses] so [attempts] still counts every coin flipped. *)
+let sample t ~node ~msg ~p =
+  let t0 = Baobs.Probe.start () in
+  let outcome =
+    Mutex.protect t.lock (fun () ->
+        match Hashtbl.find_opt t.table (node, msg) with
+        | Some r ->
+            if r.prob <> p then
+              invalid_arg
+                "Fmine.sample: same (node, msg) mined with a different p";
+            r.outcome
+        | None ->
+            let rho =
+              Bacrypto.Prf.eval_cached t.coin_key
+                (string_of_int node ^ "|" ^ msg)
+            in
+            let outcome = Bacrypto.Prf.below_difficulty rho ~p in
+            if outcome then begin
+              Hashtbl.replace t.table (node, msg) { outcome; prob = p };
+              t.successes <- t.successes + 1
+            end
+            else t.sampled_losses <- t.sampled_losses + 1;
+            outcome)
+  in
+  Baobs.Probe.stop p_mine t0;
+  outcome
+
 let verify_unlocked t ~node ~msg =
   match Hashtbl.find_opt t.table (node, msg) with
   | Some r -> r.outcome
@@ -60,7 +98,8 @@ let verify_batch t entries =
       Mutex.protect t.lock (fun () ->
           List.map (fun (node, msg) -> verify_unlocked t ~node ~msg) entries)
 
-let attempts t = Mutex.protect t.lock (fun () -> Hashtbl.length t.table)
+let attempts t =
+  Mutex.protect t.lock (fun () -> Hashtbl.length t.table + t.sampled_losses)
 
 let successes t = Mutex.protect t.lock (fun () -> t.successes)
 

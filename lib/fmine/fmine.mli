@@ -35,6 +35,21 @@ val mine : t -> node:int -> msg:string -> p:float -> bool
     answer. @raise Invalid_argument if the same [(node, msg)] is re-mined
     with a different [p] (a protocol bug). *)
 
+val sample : t -> node:int -> msg:string -> p:float -> bool
+(** Same coin as {!mine} — derived from the same hidden PRF, so the two
+    can never disagree on an outcome — but a {e losing} attempt is not
+    memoized, only tallied: the sparse engine path probes every active
+    node each round, and recording the losers would grow the table by
+    O(n) per round (the heap growth the [ba_obs mem] flatness gate
+    forbids). Winners are recorded exactly as {!mine} records them, so
+    credential verification is unaffected; this is sound because
+    {!verify} answers [false] for absent entries and a losing attempt
+    yields no credential anyone could present. Caveat: the
+    different-[p] consistency check only fires against recorded
+    entries, and a later {!mine} of a key whose losing [sample] was
+    already tallied re-counts it in {!attempts} (reachable only by an
+    adversary re-mining an honestly sampled key). *)
+
 val verify : t -> node:int -> msg:string -> bool
 (** [verify t ~node ~msg] is [true] iff [node] has called {!mine} on
     [msg] {e and} the attempt succeeded (Figure 1: unattempted mines
@@ -45,8 +60,9 @@ val verify_batch : t -> (int * string) list -> bool list
     verify t ~node ~msg) ...], under a single lock acquisition. *)
 
 val attempts : t -> int
-(** Total number of distinct mining attempts so far (used by tests and by
-    the stochastic-lemma experiment). *)
+(** Total number of distinct mining attempts so far — memoized {!mine}
+    attempts plus losing {!sample} probes (used by tests and by the
+    stochastic-lemma experiment). *)
 
 val successes : t -> int
 (** Number of successful attempts so far. *)

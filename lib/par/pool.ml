@@ -127,6 +127,12 @@ let create ~jobs =
 
 let size t = t.jobs
 
+let is_live t =
+  Mutex.lock t.lock;
+  let live = t.live in
+  Mutex.unlock t.lock;
+  live
+
 type worker_stats = {
   worker : int;
   jobs_run : int;

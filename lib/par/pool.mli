@@ -47,6 +47,11 @@ val shutdown : t -> unit
 (** Drain outstanding work, stop and join every worker domain.
     Idempotent. The pool must not be used afterwards. *)
 
+val is_live : t -> bool
+(** [false] once {!shutdown} has run. Pool-lifecycle bookkeeping (e.g.
+    that {!Basim.Engine.set_intra_jobs} really retires a displaced
+    pool) is asserted through this in test/test_par.ml. *)
+
 val with_pool : jobs:int -> (t -> 'a) -> 'a
 (** [with_pool ~jobs f] runs [f] on a fresh pool and shuts it down when
     [f] returns or raises. *)

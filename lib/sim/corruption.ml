@@ -19,39 +19,48 @@ let allows_dynamic_corruption = function
   | Static -> false
   | Adaptive | Strongly_adaptive -> true
 
+(* Struct-of-arrays: one flat int array instead of n boxed [int option]
+   cells. [honest_sentinel] marks honest nodes; any value >= -1 is the
+   corruption round (-1 = setup time), so [corrupt_round] can still
+   present the option interface without the per-node allocation. *)
+let honest_sentinel = min_int
+
 type tracker = {
   total_budget : int;
-  when_corrupted : int option array; (* None = honest *)
+  when_corrupted : int array; (* [honest_sentinel] = honest *)
   mutable used : int;
 }
 
 let create ~n ~budget =
   if budget < 0 || budget > n then invalid_arg "Corruption.create: bad budget";
-  { total_budget = budget; when_corrupted = Array.make n None; used = 0 }
+  { total_budget = budget;
+    when_corrupted = Array.make n honest_sentinel;
+    used = 0 }
 
 let budget t = t.total_budget
 
 let budget_left t = t.total_budget - t.used
 
-let is_corrupt t i = t.when_corrupted.(i) <> None
+let is_corrupt t i = t.when_corrupted.(i) <> honest_sentinel
 
-let corrupt_round t i = t.when_corrupted.(i)
+let corrupt_round t i =
+  let r = t.when_corrupted.(i) in
+  if r = honest_sentinel then None else Some r
 
 let corrupt_now t ~round i =
-  match t.when_corrupted.(i) with
-  | Some _ -> true
-  | None ->
-      if t.used >= t.total_budget then false
-      else begin
-        t.when_corrupted.(i) <- Some round;
-        t.used <- t.used + 1;
-        true
-      end
+  if round < -1 then invalid_arg "Corruption.corrupt_now: round < -1";
+  if t.when_corrupted.(i) <> honest_sentinel then true
+  else if t.used >= t.total_budget then false
+  else begin
+    t.when_corrupted.(i) <- round;
+    t.used <- t.used + 1;
+    true
+  end
 
 let corrupt_list t =
   let acc = ref [] in
   for i = Array.length t.when_corrupted - 1 downto 0 do
-    if t.when_corrupted.(i) <> None then acc := i :: !acc
+    if t.when_corrupted.(i) <> honest_sentinel then acc := i :: !acc
   done;
   !acc
 

@@ -61,16 +61,27 @@ type result = {
   halt_rounds : int option array;
 }
 
-(* A pending delivery: sender, destination, payload, its wire size
-   (computed once at creation — [msg_bits] is never re-evaluated for the
-   same wire), whether the adversary has erased it, and — under causal
-   recording — a per-run id and protocol kind label ([-1]/[""] when the
-   run has no labeler, so unlabeled traces stay byte-identical). *)
+(* An interned wire: ONE immutable descriptor per send, however many
+   nodes observe it. It carries everything accounting, tracing and
+   delivery will ever ask — the wire size ([msg_bits] is evaluated once,
+   at creation), the recipient count ([w_nrecip], so `List.length
+   targets` is not recomputed per trace event), and the delivery cell
+   [w_cell]: the [(src, payload)] pair every recipient's inbox list
+   points at. A multicast therefore costs one descriptor + one cell +
+   one shared cons, and a [k]-target unicast one descriptor + one cell +
+   [k] conses — never a fresh pair per observer. The only mutable field
+   is the adversary's erasure mark; the refcount of a wire is implicit
+   (inbox lists alias [w_cell]; the GC retires the descriptor when the
+   last inbox drops it). Under causal recording wires also get a per-run
+   id and protocol kind label ([-1]/[""] when the run has no labeler, so
+   unlabeled traces stay byte-identical). *)
 type 'msg wire = {
   w_src : int;
   w_dst : dest;
   w_payload : 'msg;
   w_bits : int;
+  w_nrecip : int;
+  w_cell : int * 'msg;
   w_id : int;
   w_kind : string;
   mutable erased : bool;
@@ -104,6 +115,47 @@ let rec splice lst d tail =
     | [] -> assert false
     | x :: rest -> x :: splice rest (d - 1) tail
 
+(* ------------------------------------------------------------------ *)
+(* Sparse rounds: a protocol that knows which nodes can possibly act in
+   a round (committee sampling, shared-listener crowds) can drive phase
+   1 itself through a [sparse_step] hook instead of having the engine
+   call [step] on every active node. The engine still owns membership
+   of the active set, halt detection, wire buffering, adversary
+   refereeing and delivery, so traces/metrics/series stay byte-identical
+   whenever the hook emits exactly the sends the dense [step] would. *)
+
+type 'msg round_view = {
+  rv_round : int;
+  rv_n : int;
+  rv_active : int array;
+  rv_n_active : int;
+  rv_shared_inbox : (int * 'msg) list;
+  rv_is_shared : int -> bool;
+  rv_inbox : int -> (int * 'msg) list;
+  rv_emit : int -> 'msg send list -> unit;
+}
+
+type ('env, 'state, 'msg) sparse_step =
+  'env -> states:'state array -> 'msg round_view -> unit
+
+(* The compatibility shim: any legacy dense protocol as a sparse step.
+   Iterating the active prefix in ascending order and emitting every
+   step's sends reproduces the dense phase 1 exactly (the engine's own
+   dense path is this same loop, sharded). *)
+let sparse_of_step (proto : ('env, 'state, 'msg) protocol) :
+    ('env, 'state, 'msg) sparse_step =
+ fun env ~states rv ->
+  for k = 0 to rv.rv_n_active - 1 do
+    let i = rv.rv_active.(k) in
+    if not (proto.halted states.(i)) then begin
+      let state', sends =
+        proto.step env states.(i) ~round:rv.rv_round ~inbox:(rv.rv_inbox i)
+      in
+      states.(i) <- state';
+      rv.rv_emit i sends
+    end
+  done
+
 let illegal fmt = Format.kasprintf (fun s -> raise (Illegal_action s)) fmt
 
 (* Phase timers: disabled (one ref read per span) unless the caller
@@ -118,10 +170,12 @@ let p_delivery = Baobs.Probe.register "engine.delivery"
    sequential); resolved from BA_INTRA_JOBS on first use, overridable
    by [set_intra_jobs] (the CLIs' --intra-jobs flag) or per-run via
    [run ~pool]. The pool is created lazily and cached per jobs value;
-   a replaced pool is deliberately NOT shut down — a trial running on
-   another domain may still be sharding onto it, and idle leaked
-   workers merely sleep on a condition variable until process exit
-   (same process-lifetime policy as the experiments' trial pool). *)
+   replacing the degree shuts the displaced pool down (joining its
+   worker domains) instead of leaking sleepers until process exit.
+   Shutting down under a concurrent trial is safe: [Pool.shutdown]
+   drains outstanding work, and a driver mid-batch on the old pool
+   drains its own queue, so its batch still completes — worst case its
+   remaining rounds shard sequentially. *)
 
 let intra_lock = Mutex.create ()
 
@@ -148,12 +202,20 @@ let intra_jobs () = Mutex.protect intra_lock resolve_intra_jobs_locked
 
 let set_intra_jobs j =
   if j < 1 then invalid_arg "Engine.set_intra_jobs: jobs must be >= 1";
-  Mutex.protect intra_lock (fun () ->
-      match !intra_jobs_ref with
-      | Some cur when cur = j -> ()
-      | Some _ | None ->
-          intra_jobs_ref := Some j;
-          intra_pool_ref := None)
+  let displaced =
+    Mutex.protect intra_lock (fun () ->
+        match !intra_jobs_ref with
+        | Some cur when cur = j -> None
+        | Some _ | None ->
+            intra_jobs_ref := Some j;
+            let old = !intra_pool_ref in
+            intra_pool_ref := None;
+            old)
+  in
+  (* Join the displaced workers outside the lock: [Pool.shutdown] blocks
+     on Domain.join, and workers never take [intra_lock], but a caller
+     racing [intra_pool] must not wait behind the join. *)
+  match displaced with None -> () | Some p -> Bapar.Pool.shutdown p
 
 let intra_pool () =
   Mutex.protect intra_lock (fun () ->
@@ -167,9 +229,11 @@ let intra_pool () =
             intra_pool_ref := Some p;
             Some p)
 
+let current_intra_pool () = intra_pool ()
+
 let run_env ?(tracer = fun (_ : Trace.event) -> ()) ?series ?resource
-    ?(on_caps_mismatch = `Refuse) ?labeler ?pool proto ~adversary ~n ~budget
-    ~inputs ~max_rounds ~seed =
+    ?(on_caps_mismatch = `Refuse) ?labeler ?pool ?sparse ?step_audit proto
+    ~adversary ~n ~budget ~inputs ~max_rounds ~seed =
   if Array.length inputs <> n then
     invalid_arg "Engine.run: inputs length must equal n";
   (* Causal recording: with a labeler, every wire gets a fresh per-run id
@@ -264,43 +328,81 @@ let run_env ?(tracer = fun (_ : Trace.event) -> ()) ?series ?resource
   in
   res_end ~round:(-1);
   let metrics = Metrics.create ~n in
-  let halt_rounds = Array.make n None in
+  (* Struct-of-arrays node bookkeeping: flat parallel arrays instead of
+     per-node boxes. [halt_rounds_a] holds the halt round with -1 for
+     "never" (the public [int option array] is materialized once, at the
+     end); halt/membership/privacy flags are single bytes. *)
+  let halt_rounds_a = Array.make n (-1) in
+  let new_halt = Bytes.make n '\000' in
+  let stepped_b = Bytes.make n '\000' in
+  let priv_b = Bytes.make n '\000' in
   let inboxes = Array.make n [] in
   let round = ref 0 in
   let running = ref true in
-  (* Running count of so-far-honest, not-yet-halted nodes, kept in sync at
-     the only two places it can drop (a halt in phase 1, a corruption in
-     phase 2) instead of an O(n) rescan at the end of every round. *)
-  let active = ref 0 in
+  (* The active set — so-far-honest, not-yet-halted nodes — as an
+     ascending id array (the live prefix [0, n_active)), mirrored by the
+     [active_b] membership bytes. Phase 1 iterates (and shards) over
+     this prefix, so per-round stepping is O(active), not O(n).
+     Removals (a halt in phase 1, a corruption in phase 2) clear the
+     byte; the prefix is compacted once at the end of a round that
+     dropped someone, keeping it ascending. *)
+  let active_b = Bytes.make n '\000' in
+  let active_ids = Array.make (max n 1) 0 in
+  let n_active = ref 0 in
   for i = 0 to n - 1 do
     if (not (Corruption.is_corrupt tracker i)) && not (proto.halted states.(i))
-    then incr active
+    then begin
+      Bytes.unsafe_set active_b i '\001';
+      active_ids.(!n_active) <- i;
+      incr n_active
+    end
   done;
-  (* Per-round structures, allocated once and reset by rewinding/refilling:
-     the honest-wire buffer, the per-node intents, the pair array the
-     adversary view shares (blitted back to all-empty from [empty_pairs]
-     each round), and the delivery accumulators. *)
+  let compact_needed = ref false in
+  let deactivate i =
+    Bytes.unsafe_set active_b i '\000';
+    compact_needed := true
+  in
+  (* Per-round structures, allocated once and reset by rewinding (the
+     wire buffer) or by clearing exactly the slots the previous round
+     dirtied (intents, the adversary-view pairs, the delivery
+     accumulators) — per-round reset work is O(touched), not O(n). *)
   let wires = { wb_arr = [||]; wb_len = 0 } in
   let intents = Array.make n [] in
+  let dirty = Array.make (max n 1) 0 in
+  let n_dirty = ref 0 in
+  let touched = ref (Array.make (max n 1) 0) in
+  let n_touched = ref 0 in
+  let prev_touched = ref (Array.make (max n 1) 0) in
+  let n_prev_touched = ref 0 in
+  let prev_shared = ref [] in
   (* Intra-round parallelism: [None] is the sequential engine; [Some p]
-     shards phase 1 across [p] in fixed node-index chunks. An explicit
-     [~pool] argument wins over the process-wide [intra_pool]; a pool of
-     size 1 is normalized away so the sequential path stays the baseline
-     itself, not a one-chunk simulation of it. *)
+     shards phase 1 across [p] in fixed chunks of the active prefix. An
+     explicit [~pool] argument wins over the process-wide [intra_pool];
+     a pool of size 1 is normalized away so the sequential path stays
+     the baseline itself, not a one-chunk simulation of it. A
+     [?sparse] hook runs phase 1 itself (sequentially); [pool] then
+     only matters to whatever parallelism the hook uses internally. *)
   let pool =
     match pool with
     | Some p -> if Bapar.Pool.size p <= 1 then None else Some p
     | None -> intra_pool ()
   in
-  (* Set by a sharded phase 1 for nodes that halted this round; drained
-     (and reset) by the sequential node-ascending post-pass so Halted
-     events, [halt_rounds] and [active] updates happen in exactly the
-     order the sequential engine produces. *)
-  let new_halt = Array.make n false in
   let empty_pairs = Array.init n (fun i -> (i, [])) in
   let view_intents = Array.init n (fun i -> (i, [])) in
   let acc = Array.make n [] in
   let mark = Array.make n (-1) in
+  let audit_on = step_audit <> None in
+  (* Sends registered by a [?sparse] hook for node [i]. Registering for
+     a node outside the active set is refused — the engine's wire pass
+     only scans the active prefix, and a silent miss there would be a
+     protocol bug; this check is also what the sparse-active qcheck
+     invariant leans on. *)
+  let emit i sends =
+    if i < 0 || i >= n || Bytes.get active_b i <> '\001' then
+      invalid_arg "Engine: sparse emit for an inactive node";
+    Bytes.unsafe_set stepped_b i '\001';
+    intents.(i) <- sends
+  in
   while !running && !round < max_rounds do
     let r = !round in
     res_begin ();
@@ -309,59 +411,123 @@ let run_env ?(tracer = fun (_ : Trace.event) -> ()) ?series ?resource
     (* Phase 1: honest nodes compute intents. *)
     let t_step = Baobs.Probe.start () in
     wires.wb_len <- 0;
-    Array.fill intents 0 n [];
-    (* Each node's step writes only its own [states]/[intents]/[new_halt]
-       slots, so disjoint index chunks are data-race-free. Corruption and
-       halt status of other nodes are only read, and phase 2 (the sole
-       writer of [tracker]) has not run yet this round. *)
-    let step_range ~lo ~hi =
-      for i = lo to hi - 1 do
-        if (not (Corruption.is_corrupt tracker i))
-           && not (proto.halted states.(i))
-        then begin
-          let state', sends =
-            proto.step env states.(i) ~round:r ~inbox:inboxes.(i)
-          in
-          states.(i) <- state';
-          intents.(i) <- sends;
-          if proto.halted state' && halt_rounds.(i) = None then
-            new_halt.(i) <- true
-        end
-      done
-    in
-    (match pool with
-    | Some p -> Bapar.Pool.shard ~pool:p ~n step_range
-    | None -> step_range ~lo:0 ~hi:n);
+    (* Clear only the slots last round's senders dirtied. *)
+    for k = 0 to !n_dirty - 1 do
+      let i = Array.unsafe_get dirty k in
+      intents.(i) <- [];
+      view_intents.(i) <- Array.unsafe_get empty_pairs i
+    done;
+    n_dirty := 0;
+    let ids = active_ids in
+    (match sparse with
+    | Some hook ->
+        let rv =
+          { rv_round = r;
+            rv_n = n;
+            rv_active = ids;
+            rv_n_active = !n_active;
+            rv_shared_inbox = !prev_shared;
+            rv_is_shared = (fun i -> Bytes.get priv_b i = '\000');
+            rv_inbox = (fun i -> inboxes.(i));
+            rv_emit = emit }
+        in
+        hook env ~states rv;
+        (* The hook may halt nodes it never individually stepped (a
+           shared crowd listener deciding wholesale), so halt detection
+           is a scan of the active prefix rather than a per-step check. *)
+        for k = 0 to !n_active - 1 do
+          let i = Array.unsafe_get ids k in
+          if proto.halted states.(i) && halt_rounds_a.(i) < 0 then
+            Bytes.unsafe_set new_halt i '\001'
+        done
+    | None ->
+        (* Each node's step writes only its own [states]/[intents]/
+           [new_halt]/[stepped_b] slots, so disjoint chunks of the
+           active prefix are data-race-free. Corruption and halt status
+           of other nodes are only read, and phase 2 (the sole writer of
+           [tracker]) has not run yet this round. *)
+        let step_range ~lo ~hi =
+          for k = lo to hi - 1 do
+            let i = Array.unsafe_get ids k in
+            if not (proto.halted states.(i)) then begin
+              let state', sends =
+                proto.step env states.(i) ~round:r ~inbox:inboxes.(i)
+              in
+              states.(i) <- state';
+              intents.(i) <- sends;
+              if audit_on then Bytes.unsafe_set stepped_b i '\001';
+              if proto.halted state' && halt_rounds_a.(i) < 0 then
+                Bytes.unsafe_set new_halt i '\001'
+            end
+          done
+        in
+        (match pool with
+        | Some p -> Bapar.Pool.shard ~pool:p ~n:!n_active step_range
+        | None -> step_range ~lo:0 ~hi:!n_active));
+    (* Report which nodes did per-node protocol work this round (full
+       steps, sparse emissions, halts), ascending — the observable the
+       sparse-active invariant tests assert on. *)
+    (match step_audit with
+    | None -> ()
+    | Some audit ->
+        let stepped = ref [] in
+        for k = !n_active - 1 downto 0 do
+          let i = Array.unsafe_get ids k in
+          if
+            Bytes.unsafe_get stepped_b i = '\001'
+            || Bytes.unsafe_get new_halt i = '\001'
+          then stepped := i :: !stepped;
+          Bytes.unsafe_set stepped_b i '\000'
+        done;
+        audit ~round:r !stepped);
     (* Sequential node-ascending post-pass: the only events phase 1 emits
        are Halted, and the sequential engine emits them in ascending node
        order, so replaying them here makes the trace byte-identical for
        every pool size. *)
-    for i = 0 to n - 1 do
-      if new_halt.(i) then begin
-        new_halt.(i) <- false;
-        halt_rounds.(i) <- Some r;
-        decr active;
+    for k = 0 to !n_active - 1 do
+      let i = Array.unsafe_get ids k in
+      if Bytes.unsafe_get new_halt i = '\001' then begin
+        Bytes.unsafe_set new_halt i '\000';
+        halt_rounds_a.(i) <- r;
+        deactivate i;
         tracer
           (Trace.Halted { round = r; node = i; output = proto.output states.(i) })
       end
     done;
     (* Wires are buffered in ascending (node, send) order — the same order
-       the old cons-list construction produced — in a second pass, after
-       every step has run, so [msg_bits] (evaluated once per wire, here)
-       never interleaves with protocol steps. *)
-    for i = 0 to n - 1 do
-      List.iter
-        (fun send ->
-          wirebuf_push wires
-            { w_src = i;
-              w_dst = send.dst;
-              w_payload = send.payload;
-              w_bits = proto.msg_bits env send.payload;
-              w_id = fresh_id ();
-              w_kind = kind_of_msg send.payload;
-              erased = false;
-              honest_origin = true })
-        intents.(i)
+       the old cons-list construction produced — in a second pass over the
+       active prefix (which still includes this round's halters; the
+       prefix is compacted only at the end of the round), after every step
+       has run, so [msg_bits] (evaluated once per wire, here) never
+       interleaves with protocol steps. Senders are recorded in [dirty]
+       for next round's O(senders) reset, and the adversary-view pairs
+       are refreshed in the same pass. *)
+    for k = 0 to !n_active - 1 do
+      let i = Array.unsafe_get ids k in
+      match intents.(i) with
+      | [] -> ()
+      | sends ->
+          dirty.(!n_dirty) <- i;
+          incr n_dirty;
+          view_intents.(i) <- (i, sends);
+          List.iter
+            (fun send ->
+              let payload = send.payload in
+              wirebuf_push wires
+                { w_src = i;
+                  w_dst = send.dst;
+                  w_payload = payload;
+                  w_bits = proto.msg_bits env payload;
+                  w_nrecip =
+                    (match send.dst with
+                    | All -> n
+                    | Only targets -> List.length targets);
+                  w_cell = (i, payload);
+                  w_id = fresh_id ();
+                  w_kind = kind_of_msg payload;
+                  erased = false;
+                  honest_origin = true })
+            sends
     done;
     Baobs.Probe.stop p_step t_step;
     (* Phase 2: adversary intervention. The view shares the engine's
@@ -370,10 +536,6 @@ let run_env ?(tracer = fun (_ : Trace.event) -> ()) ?series ?resource
        and the engine does not touch [view_intents]/[inboxes] again until
        delivery, after [intervene] has returned. *)
     let t_adv = Baobs.Probe.start () in
-    Array.blit empty_pairs 0 view_intents 0 n;
-    for i = 0 to n - 1 do
-      if intents.(i) <> [] then view_intents.(i) <- (i, intents.(i))
-    done;
     let view =
       { round = r;
         n;
@@ -415,11 +577,9 @@ let run_env ?(tracer = fun (_ : Trace.event) -> ()) ?series ?resource
           if not (Corruption.allows_dynamic_corruption adversary.model) then
             illegal "static adversary cannot corrupt mid-execution";
           require_cap Capability.Midround_corruption;
-          let was_corrupt = Corruption.is_corrupt tracker i in
           if not (Corruption.corrupt_now tracker ~round:r i) then
             illegal "corruption budget exhausted";
-          if (not was_corrupt) && not (proto.halted states.(i)) then
-            decr active;
+          if Bytes.get active_b i = '\001' then deactivate i;
           check_budget_bound ();
           srec ~round:r ~node:i Baobs.Series.Corruption 1;
           tracer (Trace.Corrupted { round = r; node = i })
@@ -442,10 +602,7 @@ let run_env ?(tracer = fun (_ : Trace.event) -> ()) ?series ?resource
                { round = r;
                  victim;
                  multicast = (w.w_dst = All);
-                 recipients =
-                   (match w.w_dst with
-                   | All -> n
-                   | Only targets -> List.length targets);
+                 recipients = w.w_nrecip;
                  bits = w.w_bits;
                  id = w.w_id;
                  kind = w.w_kind;
@@ -461,18 +618,21 @@ let run_env ?(tracer = fun (_ : Trace.event) -> ()) ?series ?resource
           srec ~round:r ~node:src Baobs.Series.Injection_bits bits;
           let id = fresh_id () in
           let kind = kind_of_msg payload in
+          let nrecip =
+            match dst with All -> n | Only targets -> List.length targets
+          in
           tracer
             (Trace.Injected
                { round = r;
                  src;
-                 recipients =
-                   (match dst with All -> n | Only targets -> List.length targets);
+                 recipients = nrecip;
                  bits = (match labeler with None -> -1 | Some _ -> bits);
                  id;
                  kind;
                  targets = targets_of dst });
           injections :=
             { w_src = src; w_dst = dst; w_payload = payload; w_bits = bits;
+              w_nrecip = nrecip; w_cell = (src, payload);
               w_id = id; w_kind = kind; erased = false; honest_origin = false }
             :: !injections
     in
@@ -496,8 +656,8 @@ let run_env ?(tracer = fun (_ : Trace.event) -> ()) ?series ?resource
             Metrics.record_honest_multicast metrics ~bits;
             srec ~round:r ~node:w.w_src Baobs.Series.Multicast 1;
             srec ~round:r ~node:w.w_src Baobs.Series.Multicast_bits bits
-        | Only targets ->
-            let recipients = List.length targets in
+        | Only _ ->
+            let recipients = w.w_nrecip in
             Metrics.record_honest_unicast metrics ~recipients ~bits;
             srec ~round:r ~node:w.w_src Baobs.Series.Unicast recipients;
             srec ~round:r ~node:w.w_src Baobs.Series.Unicast_bits
@@ -508,10 +668,7 @@ let run_env ?(tracer = fun (_ : Trace.event) -> ()) ?series ?resource
                { round = r;
                  node = w.w_src;
                  multicast = (w.w_dst = All);
-                 recipients =
-                   (match w.w_dst with
-                   | All -> n
-                   | Only targets -> List.length targets);
+                 recipients = w.w_nrecip;
                  bits;
                  id = w.w_id;
                  kind = w.w_kind;
@@ -521,20 +678,22 @@ let run_env ?(tracer = fun (_ : Trace.event) -> ()) ?series ?resource
     (* Delivery with structural sharing. Inbox order is [injections in
        application order] then [honest wires in descending order]; we
        build it back-to-front (honest wires ascending, then the reversed
-       injection list), consing each multicast ONCE onto a single shared
-       tail instead of once per recipient. A node that also receives
-       unicasts keeps a private prefix in [acc]; [mark] remembers how much
-       of the shared list that prefix has already absorbed, and [splice]
-       grafts the multicasts that arrived in between. Total allocation is
-       O(wires + unicast deliveries), not O(n × wires). *)
+       injection list), consing each multicast's interned [w_cell] ONCE
+       onto a single shared tail instead of once per recipient. A node
+       that also receives unicasts keeps a private prefix in [acc];
+       [mark] remembers how much of the shared list that prefix has
+       already absorbed, and [splice] grafts the multicasts that arrived
+       in between. Total allocation is O(wires + unicast deliveries),
+       not O(n × wires), and the privately-targeted nodes are recorded
+       in [touched] so the accumulators (and next round's privacy flags
+       for the sparse path) reset in O(touched). *)
     let shared = ref [] and shared_len = ref 0 in
-    Array.fill acc 0 n [];
-    Array.fill mark 0 n (-1);
+    let tch = !touched in
     let deliver w =
       if not w.erased then
         match w.w_dst with
         | All ->
-            shared := (w.w_src, w.w_payload) :: !shared;
+            shared := w.w_cell :: !shared;
             incr shared_len
         | Only targets ->
             List.iter
@@ -542,10 +701,14 @@ let run_env ?(tracer = fun (_ : Trace.event) -> ()) ?series ?resource
                 if j >= 0 && j < n then begin
                   let m = mark.(j) in
                   let tail =
-                    if m < 0 then !shared
+                    if m < 0 then begin
+                      tch.(!n_touched) <- j;
+                      incr n_touched;
+                      !shared
+                    end
                     else splice !shared (!shared_len - m) acc.(j)
                   in
-                  acc.(j) <- (w.w_src, w.w_payload) :: tail;
+                  acc.(j) <- w.w_cell :: tail;
                   mark.(j) <- !shared_len
                 end)
               targets
@@ -559,10 +722,43 @@ let run_env ?(tracer = fun (_ : Trace.event) -> ()) ?series ?resource
         (let m = mark.(j) in
          if m < 0 then !shared else splice !shared (!shared_len - m) acc.(j))
     done;
+    (* Privacy flags: last round's are cleared, this round's targeted
+       nodes are flagged (their inbox diverges from the shared tail) and
+       the accumulators reset — all O(touched). The shared tail itself
+       is kept for the sparse hook's next-round crowd absorb. *)
+    for k = 0 to !n_prev_touched - 1 do
+      Bytes.unsafe_set priv_b (Array.unsafe_get !prev_touched k) '\000'
+    done;
+    for k = 0 to !n_touched - 1 do
+      let j = Array.unsafe_get tch k in
+      acc.(j) <- [];
+      mark.(j) <- -1;
+      Bytes.unsafe_set priv_b j '\001'
+    done;
+    let swap = !prev_touched in
+    prev_touched := tch;
+    touched := swap;
+    n_prev_touched := !n_touched;
+    n_touched := 0;
+    prev_shared := !shared;
     Baobs.Probe.stop p_delivery t_deliver;
     res_end ~round:r;
     incr round;
-    if !active = 0 then running := false
+    (* Compact the active prefix if this round dropped anyone (halts in
+       phase 1, corruptions in phase 2), preserving ascending order. *)
+    if !compact_needed then begin
+      let w = ref 0 in
+      for k = 0 to !n_active - 1 do
+        let i = Array.unsafe_get active_ids k in
+        if Bytes.unsafe_get active_b i = '\001' then begin
+          active_ids.(!w) <- i;
+          incr w
+        end
+      done;
+      n_active := !w;
+      compact_needed := false
+    end;
+    if !n_active = 0 then running := false
   done;
   (match series with
   | Some s -> (
@@ -575,6 +771,11 @@ let run_env ?(tracer = fun (_ : Trace.event) -> ()) ?series ?resource
   | None -> ());
   let outputs = Array.map proto.output states in
   let corrupt = Array.init n (Corruption.is_corrupt tracker) in
+  let halt_rounds =
+    Array.init n (fun i ->
+        let hr = halt_rounds_a.(i) in
+        if hr < 0 then None else Some hr)
+  in
   let all_honest_decided =
     let ok = ref true in
     for i = 0 to n - 1 do
@@ -592,8 +793,8 @@ let run_env ?(tracer = fun (_ : Trace.event) -> ()) ?series ?resource
       all_honest_decided;
       halt_rounds } )
 
-let run ?tracer ?series ?resource ?on_caps_mismatch ?labeler ?pool proto
-    ~adversary ~n ~budget ~inputs ~max_rounds ~seed =
+let run ?tracer ?series ?resource ?on_caps_mismatch ?labeler ?pool ?sparse
+    ?step_audit proto ~adversary ~n ~budget ~inputs ~max_rounds ~seed =
   snd
-    (run_env ?tracer ?series ?resource ?on_caps_mismatch ?labeler ?pool proto
-       ~adversary ~n ~budget ~inputs ~max_rounds ~seed)
+    (run_env ?tracer ?series ?resource ?on_caps_mismatch ?labeler ?pool ?sparse
+       ?step_audit proto ~adversary ~n ~budget ~inputs ~max_rounds ~seed)

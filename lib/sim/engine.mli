@@ -142,16 +142,82 @@ val set_intra_jobs : int -> unit
 (** Set the process-wide intra-trial parallelism degree — how many
     domains {!run} shards each round's honest-step phase across. [1]
     (the default) is the fully sequential engine. The backing pool is
-    created lazily on the next run; replacing the degree drops the
-    cached pool without shutting it down (a concurrent trial may still
-    be sharding onto it — idle workers merely sleep until process
-    exit). This is the programmatic form of the CLIs' [--intra-jobs]
-    flag; the initial value is read from the [BA_INTRA_JOBS]
-    environment variable (invalid or unset → 1).
+    created lazily on the next run; replacing the degree shuts the
+    displaced pool down (joining its worker domains) so repeated
+    reconfiguration cannot leak sleeping domains. The shutdown is safe
+    under a concurrent trial: {!Bapar.Pool.shutdown} drains outstanding
+    work and a mid-batch driver drains its own queue, so in-flight
+    rounds complete (worst case sequentially on the driver). This is
+    the programmatic form of the CLIs' [--intra-jobs] flag; the initial
+    value is read from the [BA_INTRA_JOBS] environment variable
+    (invalid or unset → 1).
     @raise Invalid_argument if the argument is [< 1]. *)
 
 val intra_jobs : unit -> int
 (** The current process-wide intra-trial parallelism degree. *)
+
+val current_intra_pool : unit -> Bapar.Pool.t option
+(** The process-wide pool {!run} would shard onto right now, creating it
+    lazily if the configured degree is [> 1]; [None] when the degree is
+    [1]. Exposed for pool-lifecycle tests and diagnostics — treat it as
+    read-only. *)
+
+(** {2 Sparse rounds}
+
+    A protocol that can bound which nodes act in a round — committee
+    sampling, shared-listener crowds — may drive phase 1 itself through
+    a {!sparse_step} hook ({!run}'s [?sparse]) instead of having the
+    engine call [step] on all active nodes. The engine retains
+    everything else: it owns the active set, detects halts by scanning
+    it (so a hook may halt nodes wholesale, e.g. a crowd deciding),
+    buffers wires from the registered sends in ascending node order,
+    referees the adversary, and delivers. A hook that registers exactly
+    the sends the dense [step] would produce therefore yields
+    byte-identical traces, metrics, series and outputs — asserted
+    differentially in test/test_sparse.ml and by the CI [scale] job's
+    dense-vs-sparse [cmp]. {!sparse_of_step} is the compatibility shim:
+    it runs any legacy dense protocol under the hook interface,
+    trivially correctly. *)
+
+type 'msg round_view = {
+  rv_round : int;
+  rv_n : int;
+  rv_active : int array;
+      (** Ascending ids of so-far-honest, not-yet-halted nodes; read
+          only the prefix [\[0, rv_n_active)]. Shared with the engine —
+          do not mutate. *)
+  rv_n_active : int;
+  rv_shared_inbox : (int * 'msg) list;
+      (** The inbox every node {e without} private deliveries received
+          this round (injections in application order, then honest
+          wires in descending node order) — physically the engine's
+          shared multicast tail. *)
+  rv_is_shared : int -> bool;
+      (** [true] iff the node's inbox this round {e is}
+          [rv_shared_inbox] (no targeted deliveries reached it). *)
+  rv_inbox : int -> (int * 'msg) list;
+      (** The node's full inbox (equals [rv_shared_inbox] when
+          [rv_is_shared]). *)
+  rv_emit : int -> 'msg send list -> unit;
+      (** Register a node's sends for this round (callable in any
+          order, last write wins; an empty list records that the node
+          did per-node work without sending — the step-audit
+          observable). @raise Invalid_argument for a node outside the
+          active set. *)
+}
+
+type ('env, 'state, 'msg) sparse_step =
+  'env -> states:'state array -> 'msg round_view -> unit
+(** One sparse phase 1: absorb [rv_shared_inbox] once for the crowd
+    and per-node inboxes for divergent nodes, mutate [states] in place,
+    and [rv_emit] every send the dense protocol would have produced.
+    Runs sequentially (the engine does not shard it). *)
+
+val sparse_of_step :
+  ('env, 'state, 'msg) protocol -> ('env, 'state, 'msg) sparse_step
+(** The compatibility shim: step every active node through
+    [proto.step], exactly as the engine's dense phase 1 does. Useful as
+    a reference implementation and for differential tests. *)
 
 val run :
   ?tracer:(Trace.event -> unit) ->
@@ -160,6 +226,8 @@ val run :
   ?on_caps_mismatch:[ `Refuse | `Warn ] ->
   ?labeler:('msg -> string) ->
   ?pool:Bapar.Pool.t ->
+  ?sparse:('env, 'state, 'msg) sparse_step ->
+  ?step_audit:(round:int -> int list -> unit) ->
   ('env, 'state, 'msg) protocol ->
   adversary:('env, 'msg) adversary ->
   n:int ->
@@ -221,6 +289,16 @@ val run :
     observable effect. The labeler must be pure (evaluated once per
     wire).
 
+    {b Sparse rounds.} [sparse], when given, replaces the engine's dense
+    phase 1 with the hook (see {!sparse_step}); [pool] then does not
+    shard phase 1 (the hook runs sequentially). [step_audit], when
+    given, is called once per round with the ascending list of active
+    nodes that did per-node protocol work that round — every stepped
+    node on the dense path; emitters, halters and individually-stepped
+    divergent nodes under a sparse hook. Auditing allocates one list
+    per round but touches no protocol-visible state, so traces are
+    unchanged by it.
+
     [on_caps_mismatch] (default [`Refuse]) governs what happens when the
     adversary's declared {!Capability.decl} is inconsistent with its
     model ({!Capability.validate}): [`Refuse] raises {!Illegal_action}
@@ -237,6 +315,8 @@ val run_env :
   ?on_caps_mismatch:[ `Refuse | `Warn ] ->
   ?labeler:('msg -> string) ->
   ?pool:Bapar.Pool.t ->
+  ?sparse:('env, 'state, 'msg) sparse_step ->
+  ?step_audit:(round:int -> int list -> unit) ->
   ('env, 'state, 'msg) protocol ->
   adversary:('env, 'msg) adversary ->
   n:int ->

@@ -178,6 +178,42 @@ let test_default_jobs_positive () =
   let j = Bapar.Pool.default_jobs () in
   Alcotest.(check bool) "within clamp" true (j >= 1 && j <= 64)
 
+(* Replacing the engine's intra-round pool must shut the displaced pool
+   down (its worker domains would otherwise leak and keep the process
+   alive); dropping to jobs:1 must release the pool entirely. *)
+let test_engine_intra_pool_lifecycle () =
+  let restore =
+    match Basim.Engine.current_intra_pool () with
+    | Some p -> Bapar.Pool.size p
+    | None -> 1
+  in
+  Fun.protect
+    ~finally:(fun () -> Basim.Engine.set_intra_jobs restore)
+    (fun () ->
+      Basim.Engine.set_intra_jobs 2;
+      let first =
+        match Basim.Engine.current_intra_pool () with
+        | Some p -> p
+        | None -> Alcotest.fail "set_intra_jobs 2 installed no pool"
+      in
+      Alcotest.(check bool) "fresh pool live" true (Bapar.Pool.is_live first);
+      Basim.Engine.set_intra_jobs 3;
+      Alcotest.(check bool)
+        "displaced pool shut down" false (Bapar.Pool.is_live first);
+      let second =
+        match Basim.Engine.current_intra_pool () with
+        | Some p -> p
+        | None -> Alcotest.fail "set_intra_jobs 3 installed no pool"
+      in
+      Alcotest.(check bool) "replacement live" true (Bapar.Pool.is_live second);
+      Basim.Engine.set_intra_jobs 1;
+      Alcotest.(check bool)
+        "jobs:1 shuts the pool down" false
+        (Bapar.Pool.is_live second);
+      Alcotest.(check bool)
+        "jobs:1 keeps no pool" true
+        (Basim.Engine.current_intra_pool () = None))
+
 (* --- worker stats --------------------------------------------------------- *)
 
 let test_pool_stats_sum_to_submitted () =
@@ -364,6 +400,8 @@ let () =
             test_shutdown_idempotent;
           Alcotest.test_case "default_jobs in range" `Quick
             test_default_jobs_positive;
+          Alcotest.test_case "engine intra-pool lifecycle" `Quick
+            test_engine_intra_pool_lifecycle;
           Alcotest.test_case "stats sum to submitted (sizes 1-8)" `Quick
             test_pool_stats_sum_to_submitted;
           Alcotest.test_case "stats sequential on caller" `Quick

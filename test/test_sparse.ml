@@ -1,0 +1,266 @@
+(* Sparse rounds: the active-set invariant and crowd equivalence.
+
+   Three claims pin the engine's O(active) round machinery:
+
+   1. The dense engine steps exactly the nodes a naive reference says it
+      must — {un-corrupted, un-halted} at the start of the round —
+      observed through [?step_audit] and checked against the trace's own
+      corruption/halt record, across randomized adversary schedules.
+
+   2. The Sub_hm crowd hook is execution-equivalent to the dense step:
+      same trace, same metrics, same series, same outputs, for every
+      shipped adversary and both worlds.
+
+   3. In a passive sparse run the audited per-node work is exactly
+      {sample winners} ∪ {halters} — the O(committee) footprint that
+      makes n = 100000 rounds cheap. *)
+
+open Basim
+open Bacore
+
+let params = Params.make ~lambda:20 ~max_epochs:12 ()
+
+(* --- 1. dense step_audit = {un-corrupted, un-halted} ------------------- *)
+
+(* Random oblivious schedules for sub-third: setup corruptions plus
+   mid-round corrupt/inject/remove actions. Legality is irrelevant —
+   the interpreter's skip semantics make every schedule executable, and
+   the reference below reads what actually happened from the trace. *)
+let schedule_gen ~n ~budget ~max_rounds =
+  let open QCheck.Gen in
+  let node = int_range 0 (n - 1) in
+  let action =
+    frequency
+      [ (2, map (fun i -> Schedule.Corrupt i) node);
+        ( 2,
+          map3
+            (fun src bit lower ->
+              Schedule.Inject
+                { src;
+                  kind = (if bit then "propose" else "ack");
+                  bit = lower;
+                  dst = (if lower then Schedule.Lower_half else Schedule.Everyone) })
+            node bool bool );
+        ( 1,
+          map2
+            (fun victim index -> Schedule.Remove { victim; index })
+            node (int_range 0 2) ) ]
+  in
+  let step = pair (int_range 0 (max_rounds - 1)) (list_size (int_range 1 3) action) in
+  map2
+    (fun setup steps ->
+      (* strongly adaptive: the only model in which every generated
+         action kind (including removal) is declarable *)
+      { Schedule.name = "qcheck-sparse-active";
+        model = Corruption.Strongly_adaptive;
+        setup;
+        steps = List.sort (fun (r1, _) (r2, _) -> compare r1 r2) steps })
+    (list_size (int_range 0 (budget / 2)) node)
+    (list_size (int_range 0 6) step)
+
+let qcheck_dense_audit_matches_reference =
+  let n = 21 and budget = 9 and max_rounds = 14 in
+  QCheck.Test.make ~name:"dense step audit = {un-corrupted, un-halted}"
+    ~count:40
+    (QCheck.make
+       ~print:(fun s -> Format.asprintf "%a" Schedule.pp s)
+       (schedule_gen ~n ~budget ~max_rounds))
+    (fun schedule ->
+      let proto =
+        Sub_third.protocol ~params ~world:`Hybrid ~mode:Sub_third.Bit_specific
+      in
+      let adversary =
+        Schedule.to_adversary ~compiler:Baattacks.Schedule_targets.sub_third
+          schedule
+      in
+      let collector = Trace.collector () in
+      let audits = Hashtbl.create 16 in
+      let result =
+        Engine.run
+          ~tracer:(Trace.observe collector)
+          ~step_audit:(fun ~round stepped -> Hashtbl.replace audits round stepped)
+          proto ~adversary ~n ~budget
+          ~inputs:(Scenario.split_inputs ~n)
+          ~max_rounds ~seed:77L
+      in
+      (* Ground truth from the run's own record: first corruption round
+         per node (setup = -1) and the engine's halt rounds. *)
+      let corrupt_round = Array.make n None in
+      List.iter
+        (function
+          | Trace.Corrupted { round; node } ->
+              if corrupt_round.(node) = None then
+                corrupt_round.(node) <- Some round
+          | _ -> ())
+        (Trace.events collector);
+      let expected r =
+        List.filter
+          (fun i ->
+            (match corrupt_round.(i) with None -> true | Some c -> c >= r)
+            && match result.Engine.halt_rounds.(i) with
+               | None -> true
+               | Some h -> h >= r)
+          (List.init n Fun.id)
+      in
+      let ok = ref true in
+      for r = 0 to result.Engine.rounds_used - 1 do
+        let audited =
+          match Hashtbl.find_opt audits r with Some l -> l | None -> []
+        in
+        if audited <> expected r then ok := false
+      done;
+      !ok && Hashtbl.length audits = result.Engine.rounds_used)
+
+(* --- 2. crowd hook ≡ dense step ---------------------------------------- *)
+
+type observation = {
+  o_trace : string;
+  o_metrics : string;
+  o_series : string;
+  o_outputs : bool option array;
+  o_halts : int option array;
+  o_corruptions : int;
+}
+
+let observe_run ~world ~sparse ~adversary ~n ~budget ~seed =
+  let proto = Sub_hm.protocol ~params ~world in
+  let collector = Trace.collector () in
+  let series = Baobs.Series.create ~n in
+  let sparse = if sparse then Some (Sub_hm.sparse_step ()) else None in
+  let result =
+    Engine.run
+      ~tracer:(Trace.observe collector)
+      ~series ?sparse proto ~adversary ~n ~budget
+      ~inputs:(Scenario.split_inputs ~n)
+      ~max_rounds:60 ~seed
+  in
+  { o_trace = Trace.render collector;
+    o_metrics = Baobs.Json.to_string (Metrics.to_json result.Engine.metrics);
+    o_series = Baobs.Json.to_string (Baobs.Series.to_json series);
+    o_outputs = result.Engine.outputs;
+    o_halts = result.Engine.halt_rounds;
+    o_corruptions = result.Engine.corruptions }
+
+let check_equivalent ~world ~adversary ~label ~n ~budget ~seed =
+  let dense = observe_run ~world ~sparse:false ~adversary:(adversary ()) ~n ~budget ~seed in
+  let sparse = observe_run ~world ~sparse:true ~adversary:(adversary ()) ~n ~budget ~seed in
+  Alcotest.(check string) (label ^ ": trace") dense.o_trace sparse.o_trace;
+  Alcotest.(check string) (label ^ ": metrics") dense.o_metrics sparse.o_metrics;
+  Alcotest.(check string) (label ^ ": series") dense.o_series sparse.o_series;
+  Alcotest.(check bool) (label ^ ": outputs") true (dense.o_outputs = sparse.o_outputs);
+  Alcotest.(check bool) (label ^ ": halt rounds") true (dense.o_halts = sparse.o_halts);
+  Alcotest.(check int) (label ^ ": corruptions") dense.o_corruptions
+    sparse.o_corruptions
+
+let passive () = Engine.passive ~name:"none" ~model:Corruption.Adaptive
+
+let test_crowd_equivalence_adversaries () =
+  List.iter
+    (fun seed ->
+      check_equivalent ~world:`Hybrid ~adversary:passive ~label:"passive" ~n:101
+        ~budget:0 ~seed;
+      check_equivalent ~world:`Hybrid
+        ~adversary:(fun () -> Baattacks.Eraser.make ())
+        ~label:"eraser" ~n:101 ~budget:33 ~seed;
+      check_equivalent ~world:`Hybrid
+        ~adversary:(fun () -> Baattacks.Eraser.silencer ())
+        ~label:"silencer" ~n:101 ~budget:33 ~seed;
+      check_equivalent ~world:`Hybrid
+        ~adversary:(fun () -> Baattacks.Split_vote.sub_hm ())
+        ~label:"split-vote" ~n:101 ~budget:33 ~seed)
+    [ 7L; 19L ]
+
+let test_crowd_equivalence_real_world () =
+  check_equivalent ~world:`Real ~adversary:passive ~label:"real passive" ~n:61
+    ~budget:0 ~seed:5L;
+  check_equivalent ~world:`Real
+    ~adversary:(fun () -> Baattacks.Eraser.silencer ())
+    ~label:"real silencer" ~n:61 ~budget:20 ~seed:5L
+
+(* One hook serves repeated trials: it must reset its crowd whenever a
+   fresh run begins (the engine restarts rounds at 0). *)
+let test_crowd_hook_reusable_across_runs () =
+  let proto = Sub_hm.protocol ~params ~world:`Hybrid in
+  let hook = Sub_hm.sparse_step () in
+  let run seed sparse =
+    let collector = Trace.collector () in
+    let result =
+      Engine.run
+        ~tracer:(Trace.observe collector)
+        ?sparse proto ~adversary:(passive ()) ~n:101 ~budget:0
+        ~inputs:(Scenario.split_inputs ~n:101)
+        ~max_rounds:60 ~seed
+    in
+    (Trace.render collector, result.Engine.outputs)
+  in
+  List.iter
+    (fun seed ->
+      let dense = run seed None and sparse = run seed (Some hook) in
+      Alcotest.(check string) "reused hook trace" (fst dense) (fst sparse);
+      Alcotest.(check bool) "reused hook outputs" true (snd dense = snd sparse))
+    [ 3L; 4L; 5L ]
+
+(* --- 3. passive sparse audit = winners ∪ halters ----------------------- *)
+
+let test_passive_sparse_audit_is_winners_and_halters () =
+  let n = 201 in
+  let proto = Sub_hm.protocol ~params ~world:`Hybrid in
+  let collector = Trace.collector () in
+  let audits = Hashtbl.create 16 in
+  let result =
+    Engine.run
+      ~tracer:(Trace.observe collector)
+      ~sparse:(Sub_hm.sparse_step ())
+      ~step_audit:(fun ~round stepped -> Hashtbl.replace audits round stepped)
+      proto ~adversary:(passive ()) ~n ~budget:0
+      ~inputs:(Scenario.split_inputs ~n)
+      ~max_rounds:60 ~seed:13L
+  in
+  let module Iset = Set.Make (Int) in
+  let senders = Hashtbl.create 16 and halters = Hashtbl.create 16 in
+  let add tbl r i =
+    Hashtbl.replace tbl r
+      (Iset.add i (Option.value (Hashtbl.find_opt tbl r) ~default:Iset.empty))
+  in
+  List.iter
+    (function
+      | Trace.Sent { round; node; _ } -> add senders round node
+      | Trace.Halted { round; node; _ } -> add halters round node
+      | _ -> ())
+    (Trace.events collector);
+  Alcotest.(check bool) "run decided" true result.Engine.all_honest_decided;
+  let some_round_was_sparse = ref false in
+  for r = 0 to result.Engine.rounds_used - 1 do
+    let audited =
+      match Hashtbl.find_opt audits r with Some l -> l | None -> []
+    in
+    let expected =
+      Iset.union
+        (Option.value (Hashtbl.find_opt senders r) ~default:Iset.empty)
+        (Option.value (Hashtbl.find_opt halters r) ~default:Iset.empty)
+    in
+    Alcotest.(check (list int))
+      (Printf.sprintf "round %d audit" r)
+      (Iset.elements expected) audited;
+    if List.length audited < n / 2 then some_round_was_sparse := true
+  done;
+  Alcotest.(check bool) "some round did sub-linear work" true
+    !some_round_was_sparse
+
+let () =
+  let qcheck =
+    List.map
+      (QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 0xba007 |]))
+  in
+  Alcotest.run "sparse"
+    [ ("active-set", qcheck [ qcheck_dense_audit_matches_reference ]);
+      ( "crowd-equivalence",
+        [ Alcotest.test_case "all adversaries, hybrid world" `Quick
+            test_crowd_equivalence_adversaries;
+          Alcotest.test_case "real world" `Quick
+            test_crowd_equivalence_real_world;
+          Alcotest.test_case "hook reusable across runs" `Quick
+            test_crowd_hook_reusable_across_runs ] );
+      ( "audit-footprint",
+        [ Alcotest.test_case "passive audit = winners ∪ halters" `Quick
+            test_passive_sparse_audit_is_winners_and_halters ] ) ]
